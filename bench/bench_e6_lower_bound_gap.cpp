@@ -1,0 +1,51 @@
+// E6 — §5 discussion: proximity to the Ω̃(n^{(p-2)/p}) lower bound of
+// Fischer et al.
+//
+// For each p we report measured rounds divided by n^{(p-2)/p}. The paper's
+// upper bound leaves a gap of n^{p/(p+2) - (p-2)/p} = n^{4/(p(p+2))}
+// (plus the n^{3/4} term for p ≤ 5); the measured ratio should grow no
+// faster than that gap exponent predicts.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/kp_lister.h"
+
+int main() {
+  using namespace dcl;
+  std::printf(
+      "E6: gap to the Ω̃(n^{(p-2)/p}) lower bound (Fischer et al., cited in "
+      "§1/§5).\n");
+  const std::vector<NodeId> sizes = {128, 181, 256, 362, 512};
+  Table table({"p", "n", "rounds", "n^{(p-2)/p}", "ratio",
+               "paper gap exponent"});
+  for (const int p : {4, 5, 6, 7}) {
+    std::vector<double> ns, ratios;
+    const double lb_exp = static_cast<double>(p - 2) / p;
+    const double ub_exp = std::max(0.75, static_cast<double>(p) / (p + 2));
+    for (const NodeId n : sizes) {
+      Rng rng(static_cast<std::uint64_t>(n) * 17 + static_cast<std::uint64_t>(p));
+      const Graph g = erdos_renyi_gnp(n, 0.12, rng);  // dense regime
+      KpConfig cfg;
+      cfg.p = p;
+      cfg.stop_scale = 0.15;
+      const auto result = list_kp(g, cfg);
+      const double lower = std::pow(static_cast<double>(n), lb_exp);
+      const double ratio = result.total_rounds() / lower;
+      table.row()
+          .add(p)
+          .add(static_cast<std::int64_t>(n))
+          .add(result.total_rounds(), 1)
+          .add(lower, 1)
+          .add(ratio, 2)
+          .add(ub_exp - lb_exp, 3);
+      ns.push_back(static_cast<double>(n));
+      ratios.push_back(ratio);
+    }
+    const auto fit = fit_power_law(ns, ratios);
+    std::printf("  K%d: measured gap exponent %.3f, paper's worst-case gap "
+                "%.3f\n",
+                p, fit.slope, ub_exp - lb_exp);
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// M1 — substrate micro-benchmarks: sequential clique enumeration.
+//
+// The ground-truth oracle and the per-node local listing inside the
+// distributed algorithms both run on these kernels; their throughput sets
+// the wall-clock budget of every experiment.
+#include <benchmark/benchmark.h>
+
+#include "enumeration/clique_enumeration.h"
+#include "graph/generators.h"
+#include "graph/orientation.h"
+
+namespace dcl {
+namespace {
+
+const Graph& workload(int which) {
+  static const Graph sparse = [] {
+    Rng rng(1);
+    return erdos_renyi_gnm(512, 6000, rng);
+  }();
+  static const Graph dense = [] {
+    Rng rng(2);
+    return erdos_renyi_gnm(200, 8000, rng);
+  }();
+  return which == 0 ? sparse : dense;
+}
+
+void BM_ListKCliques(benchmark::State& state) {
+  const Graph& g = workload(static_cast<int>(state.range(1)));
+  const int p = static_cast<int>(state.range(0));
+  std::uint64_t found = 0;
+  for (auto _ : state) {
+    found = count_k_cliques(g, p);
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["cliques"] = static_cast<double>(found);
+}
+BENCHMARK(BM_ListKCliques)
+    ->ArgsProduct({{3, 4, 5}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NaiveCount(benchmark::State& state) {
+  const Graph& g = workload(0);
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_k_cliques_naive(g, p));
+  }
+}
+BENCHMARK(BM_NaiveCount)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_MaximalCliques(benchmark::State& state) {
+  Rng rng(3);
+  const Graph g = erdos_renyi_gnm(150, 2000, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maximal_cliques(g));
+  }
+}
+BENCHMARK(BM_MaximalCliques)->Unit(benchmark::kMillisecond);
+
+void BM_DegeneracyOrder(benchmark::State& state) {
+  Rng rng(4);
+  const Graph g =
+      erdos_renyi_gnm(static_cast<NodeId>(state.range(0)),
+                      static_cast<EdgeId>(12 * state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(degeneracy_order(g));
+  }
+}
+BENCHMARK(BM_DegeneracyOrder)->Arg(512)->Arg(2048)->Arg(8192);
+
+}  // namespace
+}  // namespace dcl
+
+BENCHMARK_MAIN();

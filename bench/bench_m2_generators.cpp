@@ -1,0 +1,72 @@
+// M2 — substrate micro-benchmarks: graph generators and CSR construction.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.h"
+
+namespace dcl {
+namespace {
+
+void BM_ErdosRenyiGnm(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const auto m = static_cast<EdgeId>(8 * state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(erdos_renyi_gnm(n, m, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_ErdosRenyiGnm)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_ErdosRenyiGnp(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(erdos_renyi_gnp(n, 16.0 / n, rng));
+  }
+}
+BENCHMARK(BM_ErdosRenyiGnp)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_StochasticBlockModel(benchmark::State& state) {
+  const auto half = static_cast<NodeId>(state.range(0) / 2);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stochastic_block_model({half, half}, 0.1, 0.01, rng));
+  }
+}
+BENCHMARK(BM_StochasticBlockModel)->Arg(256)->Arg(1024);
+
+void BM_PowerLawChungLu(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(power_law_chung_lu(n, 2.5, 12.0, rng));
+  }
+}
+BENCHMARK(BM_PowerLawChungLu)->Arg(256)->Arg(1024);
+
+void BM_RandomRegular(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(random_regular(n, 8, rng));
+  }
+}
+BENCHMARK(BM_RandomRegular)->Arg(256)->Arg(1024);
+
+void BM_CsrConstruction(benchmark::State& state) {
+  Rng rng(6);
+  const Graph g = erdos_renyi_gnm(4096, 65536, rng);
+  std::vector<Edge> edges(g.edges().begin(), g.edges().end());
+  for (auto _ : state) {
+    auto copy = edges;
+    benchmark::DoNotOptimize(Graph::from_edges(4096, std::move(copy)));
+  }
+  state.SetItemsProcessed(state.iterations() * 65536);
+}
+BENCHMARK(BM_CsrConstruction);
+
+}  // namespace
+}  // namespace dcl
+
+BENCHMARK_MAIN();

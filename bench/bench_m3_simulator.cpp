@@ -1,0 +1,81 @@
+// M3 — substrate micro-benchmarks: the CONGEST / CONGESTED CLIQUE
+// simulators, spectral tools, and the expander decomposition.
+#include <benchmark/benchmark.h>
+
+#include "congest/clique_network.h"
+#include "congest/congest_network.h"
+#include "expander/decomposition.h"
+#include "expander/spectral.h"
+#include "graph/generators.h"
+
+namespace dcl {
+namespace {
+
+void BM_CongestPhaseThroughput(benchmark::State& state) {
+  Rng rng(1);
+  const Graph g = erdos_renyi_gnm(1024, 16384, rng);
+  CongestNetwork net(g);
+  std::uint64_t sent = 0;
+  for (auto _ : state) {
+    net.begin_phase("bench");
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      for (const NodeId w : g.neighbors(v)) {
+        net.send(v, w, Message{.tag = 1, .a = v, .b = w});
+        ++sent;
+      }
+    }
+    benchmark::DoNotOptimize(net.end_phase());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sent));
+}
+BENCHMARK(BM_CongestPhaseThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_CliquePhaseLenzen(benchmark::State& state) {
+  CliqueNetwork net(256, CliqueRoutingMode::lenzen);
+  Rng rng(2);
+  for (auto _ : state) {
+    net.begin_phase("bench");
+    for (int i = 0; i < 20000; ++i) {
+      const auto a = static_cast<NodeId>(rng.next_below(256));
+      auto b = static_cast<NodeId>(rng.next_below(255));
+      if (b >= a) ++b;
+      net.send(a, b, Message{.tag = i});
+    }
+    benchmark::DoNotOptimize(net.end_phase());
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_CliquePhaseLenzen)->Unit(benchmark::kMillisecond);
+
+void BM_SecondEigenvector(benchmark::State& state) {
+  Rng rng(3);
+  const Graph g = erdos_renyi_gnm(static_cast<NodeId>(state.range(0)),
+                                  static_cast<EdgeId>(10 * state.range(0)),
+                                  rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(second_eigenvector(g, rng, 120));
+  }
+}
+BENCHMARK(BM_SecondEigenvector)->Arg(512)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+void BM_ExpanderDecomposition(benchmark::State& state) {
+  Rng rng(4);
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = erdos_renyi_gnm(n, static_cast<EdgeId>(12LL * n), rng);
+  DecompositionConfig cfg;
+  // Absolute degree target keeps both sizes in the cluster-forming regime
+  // (at n^{0.55} the larger instance would peel without any spectral work).
+  cfg.absolute_degree = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expander_decompose(g, n, cfg, rng));
+  }
+}
+BENCHMARK(BM_ExpanderDecomposition)
+    ->Arg(512)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dcl
+
+BENCHMARK_MAIN();

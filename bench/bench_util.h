@@ -1,0 +1,56 @@
+// Shared helpers for the experiment harnesses (E1–E8).
+//
+// Each bench binary regenerates one claim of the paper as an ASCII table
+// (see DESIGN.md §5 for the experiment index and EXPERIMENTS.md for the
+// recorded paper-vs-measured outcomes). Workload families live in
+// graph/workloads.h so tests and examples can reuse them; helpers here fit
+// growth exponents and format output.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/workloads.h"
+
+namespace dcl::bench {
+
+using dcl::clustered_workload;
+using dcl::periphery_workload;
+using dcl::power_workload;
+using dcl::ring_of_cliques_workload;
+
+/// Averages a measured quantity over `seeds` runs.
+template <typename F>
+double average_over_seeds(int seeds, F&& run_one) {
+  double total = 0.0;
+  for (int s = 1; s <= seeds; ++s) {
+    total += run_one(static_cast<std::uint64_t>(s));
+  }
+  return total / seeds;
+}
+
+/// Prints the fitted exponent line used by every scaling experiment.
+inline void print_exponent(const char* label, const std::vector<double>& ns,
+                           const std::vector<double>& rounds,
+                           double predicted) {
+  const LinearFit fit = fit_power_law(ns, rounds);
+  std::printf(
+      "%s: fitted exponent %.3f (R^2 %.3f), paper predicts %.3f "
+      "[Õ(·) hides polylog factors]\n",
+      label, fit.slope, fit.r_squared, predicted);
+}
+
+inline std::string format_double(double v, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace dcl::bench

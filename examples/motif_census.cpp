@@ -1,0 +1,64 @@
+// Clique-motif census on a skewed (power-law) network: K4 and K5 counting
+// with the paper's CONGEST lister vs the trivial-broadcast prior art.
+//
+// Power-law degree distributions are the stress case for the paper's
+// heavy/light machinery (hubs are C-heavy for many clusters at once).
+// This example runs both K4 variants (general Theorem 1.1 and the
+// Theorem 1.2 specialization) plus K5, reports the motif counts, and
+// compares simulated round costs against the trivial baseline.
+//
+//   ./example_motif_census [n] [avg_degree]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/baselines.h"
+#include "core/kp_lister.h"
+#include "enumeration/clique_enumeration.h"
+#include "graph/generators.h"
+
+namespace {
+
+void run_case(const dcl::Graph& g, int p, bool k4_fast) {
+  using namespace dcl;
+  KpConfig cfg;
+  cfg.p = p;
+  cfg.k4_fast = k4_fast;
+  cfg.seed = 3;
+  ListingOutput out(g.node_count());
+  const auto result = list_kp_collect(g, cfg, out);
+  ListingOutput trivial_out(g.node_count());
+  const auto trivial = trivial_broadcast_list(g, p, trivial_out);
+  const bool ok = out.cliques() == trivial_out.cliques();
+  std::printf(
+      "  K%d%-9s %8llu motifs | ours %9.1f rounds (msg-level %7.1f) | "
+      "trivial %6.1f | %s\n",
+      p, k4_fast ? " (fast)" : "",
+      static_cast<unsigned long long>(result.unique_cliques),
+      result.total_rounds(),
+      result.ledger.rounds_of_kind(CostKind::exchange),
+      trivial.total_rounds(), ok ? "agree" : "DISAGREE");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dcl;
+  const NodeId n = (argc > 1) ? std::atoi(argv[1]) : 300;
+  const double avg_degree = (argc > 2) ? std::atof(argv[2]) : 24.0;
+
+  Rng rng(13);
+  const Graph g = power_law_chung_lu(n, 2.3, avg_degree, rng);
+  std::printf("power-law graph: n=%d, m=%lld, max degree %d (hub), "
+              "avg %.1f\n",
+              g.node_count(), static_cast<long long>(g.edge_count()),
+              g.max_degree(), g.average_degree());
+
+  std::printf("\nmotif census (distributed vs trivial broadcast):\n");
+  run_case(g, 4, /*k4_fast=*/false);
+  run_case(g, 4, /*k4_fast=*/true);
+  run_case(g, 5, /*k4_fast=*/false);
+
+  // Clique number via the sequential Bron–Kerbosch oracle, for context.
+  std::printf("\nclique number omega(G) = %d\n", clique_number(g));
+  return 0;
+}

@@ -1,0 +1,17 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace dcl {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::warn};
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+}  // namespace dcl

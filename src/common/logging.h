@@ -1,0 +1,53 @@
+// Minimal leveled logging to stderr.
+//
+// The simulators and algorithms are libraries, so logging defaults to
+// `warn` and is globally adjustable; experiment harnesses raise it to
+// `info` for phase-by-phase traces.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dcl {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* tag) : level_(level) {
+    stream_ << '[' << tag << "] ";
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (level_ >= log_threshold()) {
+      stream_ << '\n';
+      std::cerr << stream_.str();
+    }
+  }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= log_threshold()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return {LogLevel::debug, "debug"}; }
+inline detail::LogLine log_info() { return {LogLevel::info, "info "}; }
+inline detail::LogLine log_warn() { return {LogLevel::warn, "warn "}; }
+inline detail::LogLine log_error() { return {LogLevel::error, "error"}; }
+
+}  // namespace dcl

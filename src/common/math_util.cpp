@@ -1,0 +1,49 @@
+#include "common/math_util.h"
+
+#include <cmath>
+#include <cstddef>
+
+namespace dcl {
+
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y) {
+  LinearFit fit;
+  const std::size_t n = x.size();
+  if (n < 2 || y.size() != n) return fit;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return fit;
+  fit.slope = (dn * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / dn;
+  const double ss_tot = syy - sy * sy / dn;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = y[i] - (fit.slope * x[i] + fit.intercept);
+    ss_res += e * e;
+  }
+  fit.r_squared = (ss_tot > 1e-12) ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+LinearFit fit_power_law(const std::vector<double>& n,
+                        const std::vector<double>& rounds) {
+  std::vector<double> lx, ly;
+  lx.reserve(n.size());
+  ly.reserve(rounds.size());
+  for (std::size_t i = 0; i < n.size() && i < rounds.size(); ++i) {
+    if (n[i] > 0 && rounds[i] > 0) {
+      lx.push_back(std::log(n[i]));
+      ly.push_back(std::log(rounds[i]));
+    }
+  }
+  return fit_line(lx, ly);
+}
+
+}  // namespace dcl

@@ -1,0 +1,94 @@
+// Small integer/floating-point helpers shared across the library.
+//
+// The paper's complexity bounds are expressed as real-valued powers of n
+// (n^{3/4}, n^{p/(p+2)}, ...). The helpers here turn those into concrete
+// integer thresholds, and provide the radix-digit decomposition used by the
+// in-cluster part-assignment scheme of Section 2.4.3.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dcl {
+
+/// ceil(a / b) for non-negative integers; requires b > 0.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// floor(log2(x)) for x >= 1; ilog2(1) == 0.
+constexpr int ilog2(std::uint64_t x) {
+  int r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr int ceil_log2(std::uint64_t x) {
+  return (x <= 1) ? 0 : ilog2(x - 1) + 1;
+}
+
+/// base^exp with 64-bit overflow left to the caller's domain knowledge.
+constexpr std::int64_t ipow(std::int64_t base, int exp) {
+  std::int64_t r = 1;
+  for (int i = 0; i < exp; ++i) r *= base;
+  return r;
+}
+
+/// ceil(n^alpha) as an integer threshold; alpha in [0, ~8].
+inline std::int64_t ceil_pow(std::int64_t n, double alpha) {
+  if (n <= 0) return 0;
+  const double v = std::pow(static_cast<double>(n), alpha);
+  // Guard against floating error pushing an exact power just below the
+  // integer it represents (e.g. pow(8, 1/3.) = 1.9999...).
+  return static_cast<std::int64_t>(std::ceil(v - 1e-9));
+}
+
+/// floor(n^alpha) as an integer threshold.
+inline std::int64_t floor_pow(std::int64_t n, double alpha) {
+  if (n <= 0) return 0;
+  const double v = std::pow(static_cast<double>(n), alpha);
+  return static_cast<std::int64_t>(std::floor(v + 1e-9));
+}
+
+/// The `digits` base-`radix` digits of `value`, least-significant first.
+/// Used for the k^{1/p}-radix part assignment (Section 2.4.3): node with
+/// new ID i is assigned the p parts given by the p digits of i.
+inline std::vector<int> radix_digits(std::int64_t value, int radix,
+                                     int digits) {
+  std::vector<int> out(static_cast<std::size_t>(digits));
+  for (int i = 0; i < digits; ++i) {
+    out[static_cast<std::size_t>(i)] = static_cast<int>(value % radix);
+    value /= radix;
+  }
+  return out;
+}
+
+/// Binomial coefficient C(n, k) with saturation guard; exact for the small
+/// (n <= ~60, k <= ~10) arguments used by clique counting.
+inline std::uint64_t binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t r = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    r = r * (n - k + i) / i;
+  }
+  return r;
+}
+
+/// Ordinary least squares slope of y against x. Used by the experiment
+/// harnesses to fit growth exponents on log-log data.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fits rounds ~ c * n^alpha by OLS on (log n, log rounds); returns alpha.
+LinearFit fit_power_law(const std::vector<double>& n,
+                        const std::vector<double>& rounds);
+
+}  // namespace dcl

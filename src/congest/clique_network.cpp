@@ -1,0 +1,86 @@
+#include "congest/clique_network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/math_util.h"
+
+namespace dcl {
+
+CliqueNetwork::CliqueNetwork(NodeId n, CliqueRoutingMode mode)
+    : n_(n), mode_(mode) {
+  if (n < 2) throw std::invalid_argument("CliqueNetwork: need >= 2 nodes");
+  inboxes_.resize(static_cast<std::size_t>(n));
+  sent_.assign(static_cast<std::size_t>(n), 0);
+  received_.assign(static_cast<std::size_t>(n), 0);
+}
+
+void CliqueNetwork::begin_phase(std::string label) {
+  if (phase_open_) {
+    throw std::logic_error("CliqueNetwork: phase already open");
+  }
+  phase_label_ = std::move(label);
+  phase_open_ = true;
+  queue_.clear();
+  pair_load_.clear();
+  std::fill(sent_.begin(), sent_.end(), 0);
+  std::fill(received_.begin(), received_.end(), 0);
+  for (auto& inbox : inboxes_) inbox.clear();
+}
+
+void CliqueNetwork::send(NodeId from, NodeId to, const Message& msg) {
+  if (!phase_open_) {
+    throw std::logic_error("CliqueNetwork: send outside of a phase");
+  }
+  if (from < 0 || to < 0 || from >= n_ || to >= n_ || from == to) {
+    throw std::invalid_argument("CliqueNetwork: bad endpoints");
+  }
+  ++sent_[static_cast<std::size_t>(from)];
+  ++received_[static_cast<std::size_t>(to)];
+  if (mode_ == CliqueRoutingMode::direct) {
+    const auto key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+        static_cast<std::uint32_t>(to);
+    ++pair_load_[key];
+  }
+  queue_.push_back({from, to, msg});
+}
+
+std::int64_t CliqueNetwork::end_phase() {
+  if (!phase_open_) {
+    throw std::logic_error("CliqueNetwork: no phase open");
+  }
+  phase_open_ = false;
+  std::int64_t rounds = 0;
+  if (!queue_.empty()) {
+    if (mode_ == CliqueRoutingMode::direct) {
+      for (const auto& [key, load] : pair_load_) {
+        rounds = std::max(rounds, load);
+      }
+    } else {
+      std::int64_t max_load = 0;
+      for (NodeId v = 0; v < n_; ++v) {
+        max_load = std::max(
+            {max_load, sent_[static_cast<std::size_t>(v)],
+             received_[static_cast<std::size_t>(v)]});
+      }
+      // Lenzen routing: ceil(load / (n-1)) full-bandwidth rounds plus a
+      // constant for the routing protocol itself.
+      rounds = ceil_div(max_load, static_cast<std::int64_t>(n_) - 1) + 2;
+    }
+  }
+  std::stable_sort(queue_.begin(), queue_.end(),
+                   [](const Queued& x, const Queued& y) {
+                     if (x.to != y.to) return x.to < y.to;
+                     return x.from < y.from;
+                   });
+  for (const auto& q : queue_) {
+    inboxes_[static_cast<std::size_t>(q.to)].push_back({q.from, q.msg});
+  }
+  ledger_.charge_exchange(phase_label_, static_cast<double>(rounds),
+                          queue_.size());
+  queue_.clear();
+  return rounds;
+}
+
+}  // namespace dcl

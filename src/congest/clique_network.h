@@ -1,0 +1,73 @@
+// Synchronous CONGESTED CLIQUE network simulator.
+//
+// Model (paper, footnote 3): the n-node input graph G is the *input*; the
+// communication graph is the complete graph — any ordered pair of nodes can
+// exchange one O(log n)-bit message per round.
+//
+// Two accounting modes for a batched phase:
+//  * `direct` — rounds = max over ordered pairs (u,v) of #messages u→v.
+//    The raw model cost of sending the batch naively.
+//  * `lenzen` (default) — Lenzen's routing theorem: if every node sends at
+//    most S and receives at most R messages in total, the batch routes in
+//    ceil(max(S, R) / (n-1)) + O(1) rounds. This is the accounting the
+//    paper's Section 2.4.3 complexity analysis relies on ("the number of
+//    messages each node receives is O(p² n^{1+d}/k^{2/p})" → rounds by
+//    dividing by bandwidth).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "congest/message.h"
+#include "congest/round_ledger.h"
+#include "graph/graph.h"
+
+namespace dcl {
+
+enum class CliqueRoutingMode { direct, lenzen };
+
+class CliqueNetwork {
+ public:
+  /// A clique network over `n` nodes.
+  explicit CliqueNetwork(NodeId n,
+                         CliqueRoutingMode mode = CliqueRoutingMode::lenzen);
+
+  NodeId node_count() const { return n_; }
+  RoundLedger& ledger() { return ledger_; }
+  const RoundLedger& ledger() const { return ledger_; }
+  CliqueRoutingMode mode() const { return mode_; }
+
+  void begin_phase(std::string label);
+
+  /// Enqueues a message from `from` to any other node `to`.
+  void send(NodeId from, NodeId to, const Message& msg);
+
+  /// Delivers everything, charges the ledger, returns the round cost.
+  std::int64_t end_phase();
+
+  const std::vector<Delivery>& inbox(NodeId v) const {
+    return inboxes_[static_cast<std::size_t>(v)];
+  }
+
+ private:
+  struct Queued {
+    NodeId from;
+    NodeId to;
+    Message msg;
+  };
+
+  NodeId n_;
+  CliqueRoutingMode mode_;
+  RoundLedger ledger_;
+  std::string phase_label_;
+  bool phase_open_ = false;
+  std::vector<Queued> queue_;
+  std::vector<std::int64_t> sent_;
+  std::vector<std::int64_t> received_;
+  std::unordered_map<std::uint64_t, std::int64_t> pair_load_;
+  std::vector<std::vector<Delivery>> inboxes_;
+};
+
+}  // namespace dcl

@@ -1,0 +1,65 @@
+#include "congest/congest_network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dcl {
+
+CongestNetwork::CongestNetwork(const Graph& g) : g_(&g) {
+  inboxes_.resize(static_cast<std::size_t>(g.node_count()));
+  edge_load_.assign(static_cast<std::size_t>(2 * g.edge_count()), 0);
+}
+
+void CongestNetwork::begin_phase(std::string label) {
+  if (phase_open_) {
+    throw std::logic_error("CongestNetwork: phase already open");
+  }
+  phase_label_ = std::move(label);
+  phase_open_ = true;
+  queue_.clear();
+  std::fill(edge_load_.begin(), edge_load_.end(), 0);
+  for (auto& inbox : inboxes_) inbox.clear();
+}
+
+void CongestNetwork::send(NodeId from, NodeId to, const Message& msg) {
+  if (!phase_open_) {
+    throw std::logic_error("CongestNetwork: send outside of a phase");
+  }
+  const auto eid = g_->edge_id(from, to);
+  if (!eid) {
+    throw std::invalid_argument(
+        "CongestNetwork: send along a non-edge (" + std::to_string(from) +
+        "," + std::to_string(to) + ")");
+  }
+  const Edge& e = g_->edge(*eid);
+  const std::size_t slot =
+      2 * static_cast<std::size_t>(*eid) + (from == e.u ? 0u : 1u);
+  ++edge_load_[slot];
+  queue_.push_back({from, to, msg});
+}
+
+std::int64_t CongestNetwork::end_phase() {
+  if (!phase_open_) {
+    throw std::logic_error("CongestNetwork: no phase open");
+  }
+  phase_open_ = false;
+  ++phase_count_;
+  std::int64_t rounds = 0;
+  for (const auto load : edge_load_) rounds = std::max(rounds, load);
+  // Stable sort by (recipient, sender) keeps inbox order deterministic and
+  // independent of the enqueue interleaving across senders.
+  std::stable_sort(queue_.begin(), queue_.end(),
+                   [](const Queued& x, const Queued& y) {
+                     if (x.to != y.to) return x.to < y.to;
+                     return x.from < y.from;
+                   });
+  for (const auto& q : queue_) {
+    inboxes_[static_cast<std::size_t>(q.to)].push_back({q.from, q.msg});
+  }
+  ledger_.charge_exchange(phase_label_, static_cast<double>(rounds),
+                          queue_.size());
+  queue_.clear();
+  return rounds;
+}
+
+}  // namespace dcl

@@ -1,0 +1,79 @@
+// Synchronous CONGEST network simulator.
+//
+// Model (paper, footnote 1): "the n-node graph G is the communication graph
+// and messages of O(log n) bits can be sent in synchronous rounds" — one
+// message per edge per direction per round.
+//
+// Algorithms are written as *phases*: every node enqueues the messages it
+// wants to send to specific neighbors, then the network delivers everything
+// and charges exactly
+//
+//     rounds(phase) = max over directed edges (u→v) of #messages queued on it
+//
+// which is the precise CONGEST cost of executing that communication pattern
+// (each directed edge delivers one message per round; all edges progress in
+// parallel). This is how the paper itself accounts its phases ("sending each
+// of its neighbors a chunk of at most O(n^{d-1/4}) of its outgoing edges").
+//
+// A step-driven `NodeProgram` API (engine.h) is layered on top for
+// algorithms that are naturally expressed round-by-round.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "congest/message.h"
+#include "congest/round_ledger.h"
+#include "graph/graph.h"
+
+namespace dcl {
+
+class CongestNetwork {
+ public:
+  explicit CongestNetwork(const Graph& g);
+
+  const Graph& graph() const { return *g_; }
+  RoundLedger& ledger() { return ledger_; }
+  const RoundLedger& ledger() const { return ledger_; }
+
+  /// Starts a communication phase; clears all inboxes.
+  void begin_phase(std::string label);
+
+  /// Enqueues a message from `from` to its neighbor `to`. Throws if {from,to}
+  /// is not an edge of the communication graph — CONGEST nodes can only talk
+  /// to neighbors.
+  void send(NodeId from, NodeId to, const Message& msg);
+
+  /// Delivers all queued messages, charges the ledger, returns the phase's
+  /// round cost (max per-directed-edge congestion; 0 if nothing was sent).
+  std::int64_t end_phase();
+
+  /// Messages delivered to `v` in the last completed phase, ordered by
+  /// (sender, send order) for determinism.
+  const std::vector<Delivery>& inbox(NodeId v) const {
+    return inboxes_[static_cast<std::size_t>(v)];
+  }
+
+  std::uint64_t phase_count() const { return phase_count_; }
+
+ private:
+  struct Queued {
+    NodeId from;
+    NodeId to;
+    Message msg;
+  };
+
+  const Graph* g_;
+  RoundLedger ledger_;
+  std::string phase_label_;
+  bool phase_open_ = false;
+  std::uint64_t phase_count_ = 0;
+  std::vector<Queued> queue_;
+  // Congestion counters per directed edge: slot 2e   = lower→higher endpoint,
+  //                                        slot 2e+1 = higher→lower.
+  std::vector<std::int64_t> edge_load_;
+  std::vector<std::vector<Delivery>> inboxes_;
+};
+
+}  // namespace dcl

@@ -1,0 +1,84 @@
+#include "congest/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dcl {
+
+void RoundApi::send(NodeId to, const Message& msg) {
+  const auto nbrs = g_->neighbors(self_);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), to);
+  if (it == nbrs.end() || *it != to) {
+    throw std::invalid_argument("RoundApi: send to non-neighbor");
+  }
+  const auto pos = static_cast<std::size_t>(it - nbrs.begin());
+  if (sent_to_.size() != nbrs.size()) sent_to_.assign(nbrs.size(), false);
+  if (sent_to_[pos]) {
+    throw std::logic_error(
+        "RoundApi: CONGEST allows one message per neighbor per round");
+  }
+  sent_to_[pos] = true;
+  outgoing_.emplace_back(to, msg);
+}
+
+CongestEngine::CongestEngine(const Graph& g, const ProgramFactory& factory)
+    : g_(&g) {
+  programs_.reserve(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    programs_.push_back(factory(v));
+  }
+}
+
+std::int64_t CongestEngine::run(std::int64_t max_rounds) {
+  const NodeId n = g_->node_count();
+  std::vector<RoundApi> apis;
+  apis.reserve(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) apis.emplace_back(v, *g_);
+
+  for (NodeId v = 0; v < n; ++v) {
+    programs_[static_cast<std::size_t>(v)]->on_start(apis[static_cast<std::size_t>(v)]);
+  }
+
+  std::vector<std::vector<Delivery>> inboxes(static_cast<std::size_t>(n));
+  std::int64_t round = 0;
+  std::uint64_t messages = 0;
+  while (round < max_rounds) {
+    // Deliver what nodes queued (either in on_start or last on_round).
+    std::vector<std::vector<Delivery>> next(static_cast<std::size_t>(n));
+    bool any_in_flight = false;
+    for (NodeId v = 0; v < n; ++v) {
+      auto& api = apis[static_cast<std::size_t>(v)];
+      for (auto& [to, msg] : api.outgoing_) {
+        next[static_cast<std::size_t>(to)].push_back({v, msg});
+        any_in_flight = true;
+        ++messages;
+      }
+      api.outgoing_.clear();
+      std::fill(api.sent_to_.begin(), api.sent_to_.end(), false);
+    }
+    for (auto& inbox : next) {
+      std::stable_sort(
+          inbox.begin(), inbox.end(),
+          [](const Delivery& x, const Delivery& y) { return x.from < y.from; });
+    }
+    inboxes = std::move(next);
+
+    bool any_active = false;
+    for (NodeId v = 0; v < n; ++v) {
+      auto& api = apis[static_cast<std::size_t>(v)];
+      api.round_ = round;
+      if (programs_[static_cast<std::size_t>(v)]->on_round(
+              api, inboxes[static_cast<std::size_t>(v)])) {
+        any_active = true;
+      }
+    }
+    ++round;
+    bool queued = false;
+    for (const auto& api : apis) queued |= !api.outgoing_.empty();
+    if (!any_active && !queued && !any_in_flight) break;
+  }
+  ledger_.charge_exchange("engine-run", static_cast<double>(round), messages);
+  return round;
+}
+
+}  // namespace dcl

@@ -1,0 +1,34 @@
+// The O(log n)-bit message type of the CONGEST / CONGESTED CLIQUE models.
+//
+// In both models a message carries O(log n) bits, i.e. a constant number of
+// node identifiers plus a constant number of small control fields. We fix
+// the layout at: one tag, up to three node ids, and one integer auxiliary
+// value — enough for every primitive in the paper ("edge {u,v}", "is w your
+// neighbor?", "node w joins part j", ...). Anything larger must be split
+// into multiple messages, which is exactly what the round accounting is
+// meant to capture.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace dcl {
+
+struct Message {
+  std::int32_t tag = 0;
+  NodeId a = -1;
+  NodeId b = -1;
+  NodeId c = -1;
+  std::int64_t aux = 0;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// A received message together with its sender.
+struct Delivery {
+  NodeId from = -1;
+  Message msg;
+};
+
+}  // namespace dcl

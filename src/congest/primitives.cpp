@@ -1,0 +1,123 @@
+#include "congest/primitives.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "congest/engine.h"
+
+namespace dcl {
+
+namespace {
+
+enum MessageTag : std::int32_t {
+  tag_bfs = 1,
+  tag_broadcast = 2,
+  tag_upcast = 3,
+};
+
+/// BFS flood: a node joins the tree when it first hears a tag_bfs message
+/// and re-floods once.
+class BfsProgram : public NodeProgram {
+ public:
+  BfsProgram(NodeId self, NodeId root) : self_(self), root_(root) {}
+
+  void on_start(RoundApi& api) override {
+    if (self_ == root_) {
+      depth_ = 0;
+      parent_ = -1;
+      flood(api);
+    }
+  }
+
+  bool on_round(RoundApi& api, const std::vector<Delivery>& received) override {
+    if (depth_ >= 0 || received.empty()) return false;
+    // First delivery wins; ties broken by sender id (inbox is sorted).
+    parent_ = received.front().from;
+    depth_ = static_cast<int>(received.front().msg.aux) + 1;
+    flood(api);
+    return true;
+  }
+
+  NodeId parent() const { return parent_; }
+  int depth() const { return depth_; }
+
+ private:
+  void flood(RoundApi& api) {
+    for (const NodeId w : api.graph().neighbors(self_)) {
+      api.send(w, Message{.tag = tag_bfs, .a = self_, .aux = depth_});
+    }
+  }
+
+  NodeId self_;
+  NodeId root_;
+  NodeId parent_ = -1;
+  int depth_ = -1;
+};
+
+}  // namespace
+
+BfsTreeResult build_bfs_tree(const Graph& g, NodeId root) {
+  BfsTreeResult result;
+  const auto n = static_cast<std::size_t>(g.node_count());
+  result.parent.assign(n, -1);
+  result.depth.assign(n, -1);
+  if (g.node_count() == 0) return result;
+  CongestEngine engine(g, [root](NodeId v) {
+    return std::make_unique<BfsProgram>(v, root);
+  });
+  result.rounds = engine.run();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto& prog = static_cast<BfsProgram&>(engine.program(v));
+    result.parent[static_cast<std::size_t>(v)] = prog.parent();
+    result.depth[static_cast<std::size_t>(v)] = prog.depth();
+  }
+  return result;
+}
+
+BroadcastResult broadcast_value(const Graph& g, NodeId root,
+                                std::int64_t value) {
+  // A broadcast is a BFS flood carrying the value; costs are identical, so
+  // reuse the tree construction and mark reachability.
+  (void)value;
+  const BfsTreeResult tree = build_bfs_tree(g, root);
+  BroadcastResult result;
+  result.rounds = tree.rounds;
+  result.received.resize(tree.depth.size());
+  for (std::size_t v = 0; v < tree.depth.size(); ++v) {
+    result.received[v] = tree.depth[v] >= 0;
+  }
+  return result;
+}
+
+ConvergecastResult convergecast_sum(const Graph& g, NodeId root,
+                                    const std::vector<std::int64_t>& values) {
+  ConvergecastResult result;
+  const BfsTreeResult tree = build_bfs_tree(g, root);
+  // Upcast: process nodes bottom-up (deepest first); each sends one
+  // aggregate message to its parent. Round cost: one message per tree edge
+  // per level, levels drain in parallel — depth extra rounds.
+  std::vector<NodeId> order;
+  int max_depth = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (tree.depth[static_cast<std::size_t>(v)] >= 0) {
+      order.push_back(v);
+      max_depth = std::max(max_depth, tree.depth[static_cast<std::size_t>(v)]);
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return tree.depth[static_cast<std::size_t>(a)] >
+           tree.depth[static_cast<std::size_t>(b)];
+  });
+  std::vector<std::int64_t> acc(values.begin(), values.end());
+  acc.resize(static_cast<std::size_t>(g.node_count()), 0);
+  for (const NodeId v : order) {
+    const NodeId parent = tree.parent[static_cast<std::size_t>(v)];
+    if (parent >= 0) acc[static_cast<std::size_t>(parent)] +=
+        acc[static_cast<std::size_t>(v)];
+  }
+  result.sum = acc[static_cast<std::size_t>(root)];
+  result.rounds = tree.rounds + max_depth;
+  return result;
+}
+
+}  // namespace dcl

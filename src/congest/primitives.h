@@ -1,0 +1,48 @@
+// Standard CONGEST primitives built on the round-driven engine.
+//
+// These are the folklore building blocks any CONGEST deployment carries —
+// BFS-tree construction, global broadcast, convergecast aggregation — with
+// their textbook O(D)-round behaviour. The clique listers use their costs
+// (e.g. the counting aggregation in core/detection.h); they are exposed as
+// a library so downstream users of the simulator can compose their own
+// algorithms, and they serve as executable documentation of the engine's
+// semantics (see tests/test_primitives.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dcl {
+
+struct BfsTreeResult {
+  std::vector<NodeId> parent;  ///< parent[v]; -1 for the root / unreachable
+  std::vector<int> depth;      ///< hop distance; -1 if unreachable
+  std::int64_t rounds = 0;     ///< simulated rounds (≈ eccentricity(root)+1)
+};
+
+/// Distributed BFS flood from `root`, executed message-by-message on the
+/// engine: each node learns its parent and depth.
+BfsTreeResult build_bfs_tree(const Graph& g, NodeId root);
+
+struct BroadcastResult {
+  std::vector<bool> received;  ///< whether the value reached each node
+  std::int64_t rounds = 0;
+};
+
+/// Floods one O(log n)-bit value from `root` to every reachable node.
+BroadcastResult broadcast_value(const Graph& g, NodeId root,
+                                std::int64_t value);
+
+struct ConvergecastResult {
+  std::int64_t sum = 0;        ///< at the root: Σ values over its component
+  std::int64_t rounds = 0;     ///< BFS + upcast rounds
+};
+
+/// Sums one value per node up a BFS tree to `root` (leaf-to-root upcast,
+/// one aggregate message per tree edge).
+ConvergecastResult convergecast_sum(const Graph& g, NodeId root,
+                                    const std::vector<std::int64_t>& values);
+
+}  // namespace dcl

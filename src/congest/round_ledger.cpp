@@ -1,0 +1,60 @@
+#include "congest/round_ledger.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace dcl {
+
+const char* to_string(CostKind kind) {
+  switch (kind) {
+    case CostKind::exchange:
+      return "exchange";
+    case CostKind::routing:
+      return "routing";
+    case CostKind::analytic:
+      return "analytic";
+  }
+  return "?";
+}
+
+double RoundLedger::total_rounds() const {
+  double total = 0.0;
+  for (const auto& e : entries_) total += e.rounds;
+  return total;
+}
+
+std::uint64_t RoundLedger::total_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& e : entries_) total += e.messages;
+  return total;
+}
+
+double RoundLedger::rounds_of_kind(CostKind kind) const {
+  double total = 0.0;
+  for (const auto& e : entries_) {
+    if (e.kind == kind) total += e.rounds;
+  }
+  return total;
+}
+
+std::map<std::string, double> RoundLedger::rounds_by_label() const {
+  std::map<std::string, double> by_label;
+  for (const auto& e : entries_) by_label[e.label] += e.rounds;
+  return by_label;
+}
+
+void RoundLedger::merge(const RoundLedger& other) {
+  entries_.insert(entries_.end(), other.entries_.begin(),
+                  other.entries_.end());
+}
+
+void RoundLedger::print_breakdown(std::ostream& out) const {
+  out << "round ledger: total=" << std::fixed << std::setprecision(1)
+      << total_rounds() << " rounds, " << total_messages() << " messages\n";
+  for (const auto& [label, rounds] : rounds_by_label()) {
+    out << "  " << std::left << std::setw(42) << label << ' ' << std::right
+        << std::setw(12) << std::setprecision(1) << rounds << '\n';
+  }
+}
+
+}  // namespace dcl

@@ -1,0 +1,67 @@
+// Round accounting shared by every simulated algorithm.
+//
+// Round costs enter the ledger through three channels, mirroring the three
+// fidelity levels documented in DESIGN.md §4:
+//  * `charge_exchange` — message-level phases whose cost is the exact
+//    per-edge congestion measured by the simulator;
+//  * `charge_routing`  — intra-cluster routing batches charged by the
+//    load/bandwidth formula of Theorem 2.4;
+//  * `charge_analytic` — cited-infrastructure costs charged by theorem
+//    statement (expander decomposition per Theorem 2.3, ID assignment per
+//    Lemma 2.5).
+// Every experiment reports the total and can print the audited breakdown.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dcl {
+
+enum class CostKind { exchange, routing, analytic };
+
+const char* to_string(CostKind kind);
+
+struct CostEntry {
+  std::string label;
+  CostKind kind = CostKind::exchange;
+  double rounds = 0.0;
+  std::uint64_t messages = 0;
+};
+
+class RoundLedger {
+ public:
+  void charge_exchange(std::string label, double rounds,
+                       std::uint64_t messages) {
+    entries_.push_back(
+        {std::move(label), CostKind::exchange, rounds, messages});
+  }
+  void charge_routing(std::string label, double rounds,
+                      std::uint64_t messages) {
+    entries_.push_back({std::move(label), CostKind::routing, rounds, messages});
+  }
+  void charge_analytic(std::string label, double rounds) {
+    entries_.push_back({std::move(label), CostKind::analytic, rounds, 0});
+  }
+
+  double total_rounds() const;
+  std::uint64_t total_messages() const;
+  double rounds_of_kind(CostKind kind) const;
+
+  const std::vector<CostEntry>& entries() const { return entries_; }
+
+  /// Rounds aggregated by label (phases repeat across iterations).
+  std::map<std::string, double> rounds_by_label() const;
+
+  /// Appends all entries of `other`.
+  void merge(const RoundLedger& other);
+
+  void print_breakdown(std::ostream& out) const;
+
+ private:
+  std::vector<CostEntry> entries_;
+};
+
+}  // namespace dcl

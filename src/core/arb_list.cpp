@@ -1,0 +1,432 @@
+#include "core/arb_list.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/math_util.h"
+#include "core/in_cluster_listing.h"
+#include "routing/cluster_router.h"
+
+namespace dcl {
+
+namespace {
+
+/// Per-node adjacency restricted to the current logical edge set.
+struct CurrentView {
+  // neighbor / edge-id pairs per node (sorted by neighbor id).
+  std::vector<std::vector<std::pair<NodeId, EdgeId>>> adj;
+  // out-neighbors per node under the current orientation.
+  std::vector<std::vector<std::pair<NodeId, EdgeId>>> out;
+
+  CurrentView(const Graph& base, const std::vector<bool>& cur,
+              const std::vector<bool>& away) {
+    const auto n = static_cast<std::size_t>(base.node_count());
+    adj.resize(n);
+    out.resize(n);
+    for (EdgeId e = 0; e < base.edge_count(); ++e) {
+      if (!cur[static_cast<std::size_t>(e)]) continue;
+      const Edge& ed = base.edge(e);
+      adj[static_cast<std::size_t>(ed.u)].emplace_back(ed.v, e);
+      adj[static_cast<std::size_t>(ed.v)].emplace_back(ed.u, e);
+      const NodeId tail = away[static_cast<std::size_t>(e)] ? ed.u : ed.v;
+      const NodeId head = base.other_endpoint(e, tail);
+      out[static_cast<std::size_t>(tail)].emplace_back(head, e);
+    }
+  }
+};
+
+}  // namespace
+
+ArbIterationTrace arb_list(ArbListContext& ctx) {
+  const Graph& base = *ctx.base;
+  const KpConfig& cfg = *ctx.cfg;
+  const NodeId n = base.node_count();
+  auto& es = *ctx.es_mask;
+  auto& er = *ctx.er_mask;
+  auto& away = *ctx.away;
+
+  ArbIterationTrace trace;
+  for (EdgeId e = 0; e < base.edge_count(); ++e) {
+    if (er[static_cast<std::size_t>(e)]) ++trace.er_before;
+  }
+  if (trace.er_before == 0) return trace;
+
+  // ---- Step 1: expander decomposition of (V, Er) (Theorem 2.3). ----------
+  std::vector<Edge> er_edges;
+  std::vector<EdgeId> sub_to_base;
+  for (EdgeId e = 0; e < base.edge_count(); ++e) {
+    if (!er[static_cast<std::size_t>(e)]) continue;
+    er_edges.push_back(base.edge(e));
+    sub_to_base.push_back(e);
+  }
+  const Graph gr = Graph::from_edges(n, std::move(er_edges));
+  // Graph::from_edges preserves the lexicographic order of the (already
+  // sorted, distinct) base edges, so sub edge i corresponds to
+  // sub_to_base[i].
+  DecompositionConfig dcfg = cfg.decomposition;
+  dcfg.absolute_degree = ctx.cluster_degree;
+  Rng deco_rng = ctx.rng->split();
+  const ExpanderDecomposition deco =
+      expander_decompose(gr, n, dcfg, deco_rng);
+  ctx.ledger->charge_analytic("expander-decomposition (T2.3)",
+                              deco.charged_rounds);
+
+  // Apply the split to the logical edge sets.
+  std::vector<EdgeId> em_edges;  // base ids of cluster-internal edges
+  for (EdgeId se = 0; se < gr.edge_count(); ++se) {
+    const EdgeId be = sub_to_base[static_cast<std::size_t>(se)];
+    switch (deco.part[static_cast<std::size_t>(se)]) {
+      case EdgePart::sparse:
+        er[static_cast<std::size_t>(be)] = false;
+        es[static_cast<std::size_t>(be)] = true;
+        away[static_cast<std::size_t>(be)] =
+            deco.es_away_from_lower[static_cast<std::size_t>(se)];
+        break;
+      case EdgePart::cluster:
+        er[static_cast<std::size_t>(be)] = false;  // pending goal/bad split
+        em_edges.push_back(be);
+        break;
+      case EdgePart::removed:
+        break;  // stays in Er
+    }
+  }
+  trace.clusters = static_cast<std::int64_t>(deco.clusters.size());
+
+  if (deco.clusters.empty()) {
+    for (EdgeId e = 0; e < base.edge_count(); ++e) {
+      if (er[static_cast<std::size_t>(e)]) ++trace.er_after;
+    }
+    for (EdgeId e = 0; e < base.edge_count(); ++e) {
+      if (es[static_cast<std::size_t>(e)]) ++trace.es_total;
+    }
+    return trace;
+  }
+
+  // The "current graph" for this call: all Es ∪ Er ∪ Em edges that existed
+  // on entry (Em edges are removed only after the call).
+  std::vector<bool> cur(static_cast<std::size_t>(base.edge_count()), false);
+  for (EdgeId e = 0; e < base.edge_count(); ++e) {
+    cur[static_cast<std::size_t>(e)] =
+        es[static_cast<std::size_t>(e)] || er[static_cast<std::size_t>(e)];
+  }
+  for (const EdgeId be : em_edges) cur[static_cast<std::size_t>(be)] = true;
+  CurrentView view(base, cur, away);
+
+  const auto& cluster_of = deco.cluster_of;
+
+  // ---- Step 2a: cluster announcement + g_{v,C} (one exchange round). -----
+  // Every cluster node tells its current-graph neighbors its cluster id;
+  // v then knows g_{v,C} for each adjacent cluster C.
+  std::vector<std::unordered_map<int, std::int32_t>> cluster_neighbors(
+      static_cast<std::size_t>(n));
+  std::uint64_t announce_msgs = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    for (const auto& [w, e] : view.adj[static_cast<std::size_t>(v)]) {
+      const int c = cluster_of[static_cast<std::size_t>(w)];
+      if (c >= 0 && cluster_of[static_cast<std::size_t>(v)] != c) {
+        ++cluster_neighbors[static_cast<std::size_t>(v)][c];
+        ++announce_msgs;
+      }
+    }
+  }
+  ctx.ledger->charge_exchange("cluster-announce", 1.0, announce_msgs);
+
+  // Heavy threshold: n^{1/4} in the general algorithm (Section 2.4.1),
+  // A / n^{1/3} in k4_fast mode (Section 3).
+  const std::int64_t heavy_threshold = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(
+             cfg.heavy_scale *
+             (cfg.k4_fast
+                  ? static_cast<double>(ctx.arboricity_bound) /
+                        std::pow(static_cast<double>(std::max<NodeId>(2, n)),
+                                 1.0 / 3.0)
+                  : std::pow(static_cast<double>(std::max<NodeId>(2, n)),
+                             0.25)))));
+
+  auto is_heavy_for = [&](NodeId v, int c) {
+    const auto& m = cluster_neighbors[static_cast<std::size_t>(v)];
+    const auto it = m.find(c);
+    return it != m.end() && it->second > heavy_threshold;
+  };
+
+  // ---- Step 2b: heavy nodes ship their outgoing edges into the cluster. --
+  // v sends its ≤ A outgoing edges in round-robin chunks across its
+  // C-neighbors; per-edge congestion is the chunk size.
+  std::vector<std::vector<KnownEdge>> learned(static_cast<std::size_t>(n));
+  std::int64_t heavy_phase_load = 0;
+  std::uint64_t heavy_msgs = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& clusters_of_v = cluster_neighbors[static_cast<std::size_t>(v)];
+    if (clusters_of_v.empty()) continue;
+    const auto& out_v = view.out[static_cast<std::size_t>(v)];
+    for (const auto& [c, count] : clusters_of_v) {
+      if (count <= heavy_threshold) continue;  // C-light
+      ++trace.heavy_relationships;
+      if (out_v.empty()) continue;
+      // Collect v's neighbors inside cluster c (sorted by id via adj order).
+      std::vector<NodeId> receivers;
+      receivers.reserve(static_cast<std::size_t>(count));
+      for (const auto& [w, e] : view.adj[static_cast<std::size_t>(v)]) {
+        if (cluster_of[static_cast<std::size_t>(w)] == c) {
+          receivers.push_back(w);
+        }
+      }
+      for (std::size_t i = 0; i < out_v.size(); ++i) {
+        const NodeId u = receivers[i % receivers.size()];
+        learned[static_cast<std::size_t>(u)].push_back(
+            KnownEdge{v, out_v[i].first});
+      }
+      heavy_msgs += out_v.size();
+      heavy_phase_load = std::max(
+          heavy_phase_load,
+          ceil_div(static_cast<std::int64_t>(out_v.size()),
+                   static_cast<std::int64_t>(receivers.size())));
+    }
+  }
+  ctx.ledger->charge_exchange("heavy-edge-shipping",
+                              static_cast<double>(heavy_phase_load),
+                              heavy_msgs);
+
+  // ---- Step 3: light-status exchange, bad nodes, bad edges. ---------------
+  // One round: every outside node tells its cluster neighbors whether it is
+  // C-light; u ∈ C then knows u_light.
+  std::vector<std::int64_t> ulight(static_cast<std::size_t>(n), 0);
+  std::uint64_t status_msgs = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const int c = cluster_of[static_cast<std::size_t>(u)];
+    if (c < 0) continue;
+    for (const auto& [v, e] : view.adj[static_cast<std::size_t>(u)]) {
+      if (cluster_of[static_cast<std::size_t>(v)] == c) continue;
+      ++status_msgs;
+      if (!is_heavy_for(v, c)) ++ulight[static_cast<std::size_t>(u)];
+    }
+  }
+  ctx.ledger->charge_exchange("light-status", 1.0, status_msgs);
+
+  const std::int64_t bad_threshold = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(
+             cfg.bad_scale *
+             std::sqrt(static_cast<double>(std::max<NodeId>(2, n))) *
+             std::log2(static_cast<double>(std::max<NodeId>(2, n))))));
+  std::vector<bool> bad(static_cast<std::size_t>(n), false);
+  if (cfg.enable_bad_edges && !cfg.k4_fast) {
+    for (NodeId u = 0; u < n; ++u) {
+      if (cluster_of[static_cast<std::size_t>(u)] >= 0 &&
+          ulight[static_cast<std::size_t>(u)] > bad_threshold) {
+        bad[static_cast<std::size_t>(u)] = true;
+      }
+    }
+  }
+
+  // Goal edges = Em minus edges between two bad nodes; bad edges return to
+  // Er for a later iteration (but stay in `cur` for communication).
+  std::vector<bool> goal(static_cast<std::size_t>(base.edge_count()), false);
+  for (const EdgeId be : em_edges) {
+    const Edge& ed = base.edge(be);
+    if (bad[static_cast<std::size_t>(ed.u)] &&
+        bad[static_cast<std::size_t>(ed.v)]) {
+      er[static_cast<std::size_t>(be)] = true;
+      ++trace.bad_edges;
+    } else {
+      goal[static_cast<std::size_t>(be)] = true;
+      ++trace.goal_edges;
+    }
+  }
+
+  // ---- Step 4: C-light edge learning (general algorithm only). -----------
+  // Two sequential exchanges: good cluster nodes broadcast their C-light
+  // neighbor lists to every outside neighbor, then the outside neighbors
+  // answer with the sublist they are adjacent to. Each exchange is charged
+  // its exact per-directed-edge congestion.
+  if (!cfg.k4_fast) {
+    std::int64_t broadcast_load = 0;
+    std::int64_t response_load = 0;
+    std::uint64_t broadcast_msgs = 0;
+    std::uint64_t response_msgs = 0;
+    std::vector<bool> mark(static_cast<std::size_t>(n), false);
+    for (NodeId u = 0; u < n; ++u) {
+      const int c = cluster_of[static_cast<std::size_t>(u)];
+      if (c < 0 || bad[static_cast<std::size_t>(u)]) continue;
+      // L(u): u's C-light neighbors outside the cluster.
+      std::vector<NodeId> light_list;
+      for (const auto& [v, e] : view.adj[static_cast<std::size_t>(u)]) {
+        if (cluster_of[static_cast<std::size_t>(v)] != c &&
+            !is_heavy_for(v, c)) {
+          light_list.push_back(v);
+        }
+      }
+      if (light_list.empty()) continue;
+      for (const NodeId w : light_list) mark[static_cast<std::size_t>(w)] = true;
+      for (const auto& [v, e] : view.adj[static_cast<std::size_t>(u)]) {
+        if (cluster_of[static_cast<std::size_t>(v)] == c) continue;
+        // u → v: the whole list; v → u: the members adjacent to v.
+        broadcast_load = std::max(
+            broadcast_load, static_cast<std::int64_t>(light_list.size()));
+        broadcast_msgs += light_list.size();
+        std::int64_t matches = 0;
+        for (const auto& [w, we] : view.adj[static_cast<std::size_t>(v)]) {
+          if (w == u || !mark[static_cast<std::size_t>(w)]) continue;
+          ++matches;
+          // v reports the edge {v,w} with its orientation bit.
+          const Edge& ed = base.edge(we);
+          const NodeId tail = away[static_cast<std::size_t>(we)] ? ed.u : ed.v;
+          learned[static_cast<std::size_t>(u)].push_back(
+              KnownEdge{tail, base.other_endpoint(we, tail)});
+        }
+        response_msgs += static_cast<std::uint64_t>(matches);
+        response_load = std::max(response_load, matches);
+      }
+      for (const NodeId w : light_list) {
+        mark[static_cast<std::size_t>(w)] = false;
+      }
+    }
+    ctx.ledger->charge_exchange("light-list-broadcast",
+                                static_cast<double>(broadcast_load),
+                                broadcast_msgs);
+    ctx.ledger->charge_exchange("light-list-response",
+                                static_cast<double>(response_load),
+                                response_msgs);
+  }
+
+  // ---- Step 5: reshuffle to responsibility holders (Theorem 2.4). --------
+  const auto new_id = assign_cluster_ids(deco.clusters, n, *ctx.ledger);
+
+  ParallelRoutingCharge reshuffle_charge;
+  ParallelRoutingCharge partition_charge;
+  ParallelRoutingCharge distribution_charge;
+
+  for (const Cluster& cluster : deco.clusters) {
+    const auto k = static_cast<NodeId>(cluster.nodes.size());
+    const std::int64_t bandwidth =
+        std::max<std::int64_t>(1, cluster.min_internal_degree);
+    std::vector<std::vector<KnownEdge>> holders(static_cast<std::size_t>(k));
+    std::vector<std::int64_t> send_load(static_cast<std::size_t>(k), 0);
+    std::vector<std::int64_t> recv_load(static_cast<std::size_t>(k), 0);
+
+    auto route = [&](NodeId from_cluster_node, KnownEdge edge) {
+      const NodeId idx = responsible_cluster_index(edge.tail, n, k);
+      holders[static_cast<std::size_t>(idx)].push_back(edge);
+      ++send_load[static_cast<std::size_t>(
+          new_id[static_cast<std::size_t>(from_cluster_node)])];
+      ++recv_load[static_cast<std::size_t>(idx)];
+    };
+
+    for (const NodeId u : cluster.nodes) {
+      // Own outgoing edges.
+      for (const auto& [head, e] : view.out[static_cast<std::size_t>(u)]) {
+        route(u, KnownEdge{u, head});
+      }
+      // Crossing edges oriented away from the outside endpoint (u is the
+      // only cluster node guaranteed to know them).
+      for (const auto& [v, e] : view.adj[static_cast<std::size_t>(u)]) {
+        if (cluster_of[static_cast<std::size_t>(v)] == cluster.id) continue;
+        const Edge& ed = base.edge(e);
+        const NodeId tail = away[static_cast<std::size_t>(e)] ? ed.u : ed.v;
+        if (tail == v) route(u, KnownEdge{v, u});
+      }
+      // Everything learned from outside during steps 2b and 4.
+      auto& learned_u = learned[static_cast<std::size_t>(u)];
+      trace.max_learned_edges =
+          std::max(trace.max_learned_edges,
+                   static_cast<std::int64_t>(learned_u.size()));
+      for (const KnownEdge& edge : learned_u) route(u, edge);
+    }
+
+    std::int64_t max_load = 0;
+    std::uint64_t routed = 0;
+    for (NodeId i = 0; i < k; ++i) {
+      max_load = std::max({max_load, send_load[static_cast<std::size_t>(i)],
+                           recv_load[static_cast<std::size_t>(i)]});
+      routed += static_cast<std::uint64_t>(
+          recv_load[static_cast<std::size_t>(i)]);
+      auto& h = holders[static_cast<std::size_t>(i)];
+      std::sort(h.begin(), h.end());
+      h.erase(std::unique(h.begin(), h.end()), h.end());
+    }
+    reshuffle_charge.add_cluster(max_load, bandwidth, routed);
+
+    // Partition broadcast: every cluster node announces the part choices of
+    // its ≤ ceil(n/k) responsibility nodes to all k-1 peers.
+    const std::int64_t range = ceil_div(static_cast<std::int64_t>(n),
+                                        static_cast<std::int64_t>(k));
+    partition_charge.add_cluster(
+        range * (k - 1), bandwidth,
+        static_cast<std::uint64_t>(range) * static_cast<std::uint64_t>(k) *
+            static_cast<std::uint64_t>(k - 1));
+
+    // In-cluster sparsity-aware listing (Section 2.4.3).
+    InClusterProblem problem;
+    problem.base = &base;
+    problem.cluster = &cluster;
+    problem.edges_by_holder = &holders;
+    problem.goal_edge = &goal;
+    problem.p = cfg.p;
+    problem.charge_mode = cfg.in_cluster_charge;
+    Rng cluster_rng = ctx.rng->split();
+    const InClusterCost cost = in_cluster_list(problem, cluster_rng, *ctx.out);
+    distribution_charge.add_cluster(std::max(cost.max_send, cost.max_recv),
+                                    bandwidth, cost.messages);
+  }
+  reshuffle_charge.commit(*ctx.ledger, "reshuffle (T2.4)", n);
+  partition_charge.commit(*ctx.ledger, "partition-broadcast (T2.4)", n);
+  distribution_charge.commit(*ctx.ledger, "edge-distribution (T2.4)", n);
+
+  // ---- Step 6 (k4_fast): sequential per-cluster C-light probing. ---------
+  if (cfg.k4_fast) {
+    std::int64_t probe_rounds = 0;
+    std::uint64_t probe_msgs = 0;
+    std::vector<bool> mark(static_cast<std::size_t>(n), false);
+    for (const Cluster& cluster : deco.clusters) {
+      std::int64_t cluster_max = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        if (cluster_of[static_cast<std::size_t>(v)] == cluster.id) continue;
+        const auto& m = cluster_neighbors[static_cast<std::size_t>(v)];
+        const auto it = m.find(cluster.id);
+        if (it == m.end() || it->second > heavy_threshold) continue;
+        // v is C-light: collect Lv = its cluster-C neighbors.
+        std::vector<NodeId> lv;
+        for (const auto& [w, e] : view.adj[static_cast<std::size_t>(v)]) {
+          if (cluster_of[static_cast<std::size_t>(w)] == cluster.id) {
+            lv.push_back(w);
+          }
+        }
+        if (lv.size() < 2) continue;
+        cluster_max =
+            std::max(cluster_max, static_cast<std::int64_t>(lv.size()));
+        for (const NodeId w : lv) mark[static_cast<std::size_t>(w)] = true;
+        // v queries each neighbor v2 about every u in Lv and lists the K4s
+        // {u, w, v, v2} it can certify.
+        for (const auto& [v2, e2] : view.adj[static_cast<std::size_t>(v)]) {
+          if (cluster_of[static_cast<std::size_t>(v2)] == cluster.id) continue;
+          probe_msgs += 2 * lv.size();  // queries + bit answers
+          // M = Lv ∩ N_cur(v2).
+          std::vector<NodeId> inter;
+          for (const auto& [w, e3] : view.adj[static_cast<std::size_t>(v2)]) {
+            if (mark[static_cast<std::size_t>(w)]) inter.push_back(w);
+          }
+          for (std::size_t x = 0; x < inter.size(); ++x) {
+            for (std::size_t y = x + 1; y < inter.size(); ++y) {
+              const auto eid = base.edge_id(inter[x], inter[y]);
+              if (!eid || !cur[static_cast<std::size_t>(*eid)]) continue;
+              const NodeId quad[4] = {inter[x], inter[y], v, v2};
+              ctx.out->report(v, quad);
+            }
+          }
+        }
+        for (const NodeId w : lv) mark[static_cast<std::size_t>(w)] = false;
+      }
+      probe_rounds += cluster_max;  // clusters handled sequentially (§3)
+    }
+    ctx.ledger->charge_exchange("k4-light-probe",
+                                static_cast<double>(probe_rounds), probe_msgs);
+  }
+
+  for (EdgeId e = 0; e < base.edge_count(); ++e) {
+    if (er[static_cast<std::size_t>(e)]) ++trace.er_after;
+    if (es[static_cast<std::size_t>(e)]) ++trace.es_total;
+  }
+  return trace;
+}
+
+}  // namespace dcl

@@ -1,0 +1,194 @@
+#include "core/in_cluster_listing.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/math_util.h"
+#include "enumeration/clique_enumeration.h"
+
+namespace dcl {
+
+namespace {
+
+/// The p base-q digits of new ID i (mod q^p), as a sorted multiset.
+std::vector<int> part_multiset(NodeId new_id, int q, int p) {
+  const std::int64_t space = ipow(q, p);
+  auto digits = radix_digits(static_cast<std::int64_t>(new_id) % space, q, p);
+  std::sort(digits.begin(), digits.end());
+  return digits;
+}
+
+/// Whether the sorted multiset `s` contains part `a` and part `b`
+/// (with multiplicity two when a == b).
+bool multiset_covers(const std::vector<int>& s, int a, int b) {
+  if (a > b) std::swap(a, b);
+  if (a == b) {
+    const auto lo = std::lower_bound(s.begin(), s.end(), a);
+    return lo != s.end() && *lo == a && (lo + 1) != s.end() && *(lo + 1) == a;
+  }
+  return std::binary_search(s.begin(), s.end(), a) &&
+         std::binary_search(s.begin(), s.end(), b);
+}
+
+int pair_index(int a, int b, int q) {
+  if (a > b) std::swap(a, b);
+  return a * q + b;
+}
+
+}  // namespace
+
+InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
+                              ListingOutput& out) {
+  const Graph& base = *problem.base;
+  const Cluster& cluster = *problem.cluster;
+  const auto& holders = *problem.edges_by_holder;
+  const int p = problem.p;
+  const auto k = static_cast<NodeId>(cluster.nodes.size());
+  if (holders.size() != static_cast<std::size_t>(k)) {
+    throw std::invalid_argument("in_cluster_list: holder count mismatch");
+  }
+
+  InClusterCost cost;
+  const int q = std::max<int>(
+      1, static_cast<int>(floor_pow(static_cast<std::int64_t>(k),
+                                    1.0 / static_cast<double>(p))));
+  cost.parts = q;
+
+  // Step 1: random partition of the whole vertex set into q parts. (In the
+  // distributed execution each cluster node draws the choices for its
+  // responsibility range and broadcasts them; the broadcast is charged by
+  // the caller. The draw itself is the same uniform choice.)
+  std::vector<int> part(static_cast<std::size_t>(base.node_count()));
+  for (auto& pt : part) {
+    pt = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(q)));
+  }
+
+  // Step 2: part multisets per cluster node, and the coverage table
+  // cover[(a,b)] = number of cluster nodes whose multiset covers {a,b}.
+  std::vector<std::vector<int>> tuple(static_cast<std::size_t>(k));
+  for (NodeId j = 0; j < k; ++j) {
+    tuple[static_cast<std::size_t>(j)] = part_multiset(j, q, p);
+  }
+  std::vector<std::int64_t> cover(static_cast<std::size_t>(q * q), 0);
+  for (NodeId j = 0; j < k; ++j) {
+    const auto& s = tuple[static_cast<std::size_t>(j)];
+    for (int a = 0; a < q; ++a) {
+      for (int b = a; b < q; ++b) {
+        if (multiset_covers(s, a, b)) {
+          ++cover[static_cast<std::size_t>(pair_index(a, b, q))];
+        }
+      }
+    }
+  }
+
+  // Step 3: bucket every known edge by its unordered part pair, tracking
+  // exact send loads (holder sends each edge to every covering node).
+  std::vector<std::vector<KnownEdge>> bucket(static_cast<std::size_t>(q * q));
+  std::vector<std::int64_t> send_load(static_cast<std::size_t>(k), 0);
+  for (NodeId holder = 0; holder < k; ++holder) {
+    for (const KnownEdge& e : holders[static_cast<std::size_t>(holder)]) {
+      const int a = part[static_cast<std::size_t>(e.tail)];
+      const int b = part[static_cast<std::size_t>(e.head)];
+      const int idx = pair_index(a, b, q);
+      bucket[static_cast<std::size_t>(idx)].push_back(e);
+      send_load[static_cast<std::size_t>(holder)] +=
+          cover[static_cast<std::size_t>(idx)];
+    }
+  }
+
+  // Receive loads, then the per-node listing. Nodes with identical part
+  // multisets receive identical edge sets and would produce identical
+  // outputs, so only the first representative of each multiset enumerates
+  // (a pure simulation shortcut: loads are still accounted for every node,
+  // and the *union* of outputs — the correctness contract — is unchanged).
+  std::map<std::vector<int>, NodeId> representative;
+  for (NodeId j = 0; j < k; ++j) {
+    representative.try_emplace(tuple[static_cast<std::size_t>(j)], j);
+  }
+  std::vector<std::int64_t> recv_load(static_cast<std::size_t>(k), 0);
+  std::vector<KnownEdge> local_edges;
+  std::vector<NodeId> compact_to_global;
+  std::unordered_map<NodeId, NodeId> global_to_compact;
+  for (NodeId j = 0; j < k; ++j) {
+    const auto& s = tuple[static_cast<std::size_t>(j)];
+    local_edges.clear();
+    for (int a = 0; a < q; ++a) {
+      for (int b = a; b < q; ++b) {
+        if (!multiset_covers(s, a, b)) continue;
+        const auto& bkt = bucket[static_cast<std::size_t>(pair_index(a, b, q))];
+        recv_load[static_cast<std::size_t>(j)] +=
+            static_cast<std::int64_t>(bkt.size());
+        if (representative.at(s) == j) {
+          local_edges.insert(local_edges.end(), bkt.begin(), bkt.end());
+        }
+      }
+    }
+    if (representative.at(s) != j ||
+        static_cast<int>(local_edges.size()) < p * (p - 1) / 2) {
+      continue;
+    }
+    // Step 4: local Kp enumeration on the received edges.
+    compact_to_global.clear();
+    global_to_compact.clear();
+    std::vector<Edge> edges;
+    edges.reserve(local_edges.size());
+    auto intern = [&](NodeId g) {
+      auto [it, fresh] = global_to_compact.try_emplace(
+          g, static_cast<NodeId>(compact_to_global.size()));
+      if (fresh) compact_to_global.push_back(g);
+      return it->second;
+    };
+    for (const KnownEdge& e : local_edges) {
+      edges.push_back(make_edge(intern(e.tail), intern(e.head)));
+    }
+    const Graph local = Graph::from_edges(
+        static_cast<NodeId>(compact_to_global.size()), std::move(edges));
+    const auto cliques = list_k_cliques(local, p);
+    std::vector<NodeId> global(static_cast<std::size_t>(p));
+    for (const auto& c : cliques) {
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        global[i] = compact_to_global[static_cast<std::size_t>(c[i])];
+      }
+      // Report only cliques containing at least one goal edge of C — the
+      // task assigned to this cluster (others are other iterations' work).
+      bool has_goal = false;
+      for (std::size_t x = 0; x < global.size() && !has_goal; ++x) {
+        for (std::size_t y = x + 1; y < global.size() && !has_goal; ++y) {
+          const auto eid = base.edge_id(global[x], global[y]);
+          if (eid && (*problem.goal_edge)[static_cast<std::size_t>(*eid)]) {
+            has_goal = true;
+          }
+        }
+      }
+      if (has_goal) {
+        out.report(cluster.nodes[static_cast<std::size_t>(j)], global);
+        ++cost.cliques_reported;
+      }
+    }
+  }
+
+  for (NodeId j = 0; j < k; ++j) {
+    cost.max_send =
+        std::max(cost.max_send, send_load[static_cast<std::size_t>(j)]);
+    cost.max_recv =
+        std::max(cost.max_recv, recv_load[static_cast<std::size_t>(j)]);
+    cost.messages += static_cast<std::uint64_t>(
+        recv_load[static_cast<std::size_t>(j)]);
+  }
+
+  if (problem.charge_mode == InClusterChargeMode::worst_case) {
+    // Oblivious schedule: every node must budget p² slots of (n/q)²
+    // potential pairs regardless of how many edges actually exist.
+    const std::int64_t part_size =
+        ceil_div(static_cast<std::int64_t>(base.node_count()), q);
+    const std::int64_t budget = static_cast<std::int64_t>(p) * p * part_size *
+                                part_size / 2;
+    cost.max_send = std::max(cost.max_send, budget);
+    cost.max_recv = std::max(cost.max_recv, budget);
+  }
+  return cost;
+}
+
+}  // namespace dcl

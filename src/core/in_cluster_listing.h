@@ -1,0 +1,72 @@
+// The sparsity-aware in-cluster Kp lister of Section 2.4.3.
+//
+// Input: one n^δ-cluster C (k nodes, re-identified 0..k-1 per Lemma 2.5)
+// whose nodes collectively hold every edge that can participate in a Kp
+// with a goal edge of C. The edges have already been reshuffled so that the
+// node with new ID i holds exactly the known edges whose tail falls in its
+// responsibility range (Section 2.4.3, "Reshuffling the edges").
+//
+// This routine then
+//  1. draws the random partition V → [q] with q = floor(k^{1/p}) parts
+//     (every cluster node picks the parts of the O(n/k) original nodes it
+//     is responsible for — we draw them from the cluster's seeded RNG);
+//  2. assigns node i the p parts given by the base-q digits of i
+//     (the k^{1/p}-radix representation of its new ID);
+//  3. delivers every held edge to every cluster node whose part multiset
+//     contains both endpoint parts, computing the exact per-node send and
+//     receive loads that Theorem 2.4 routing would charge;
+//  4. has every node enumerate the Kp instances inside its received edge
+//     set and report those containing at least one goal edge of C.
+//
+// Cost model: the returned loads feed a ParallelRoutingCharge in the
+// caller; `InClusterChargeMode::worst_case` replaces the measured loads by
+// the oblivious O(p² (n/q)²) potential-pair budget that a non-sparsity-
+// aware algorithm must schedule for (ablation E7b).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/listing_types.h"
+#include "expander/decomposition.h"
+#include "graph/graph.h"
+
+namespace dcl {
+
+/// A directed known edge: `tail` is the endpoint the edge is oriented away
+/// from (the reshuffle/grouping key), `head` the other endpoint.
+struct KnownEdge {
+  NodeId tail = -1;
+  NodeId head = -1;
+  friend bool operator==(const KnownEdge&, const KnownEdge&) = default;
+  friend auto operator<=>(const KnownEdge&, const KnownEdge&) = default;
+};
+
+struct InClusterProblem {
+  const Graph* base = nullptr;      ///< the ambient n-node graph
+  const Cluster* cluster = nullptr;
+  /// Known edges per holder (indexed by new cluster ID); already grouped by
+  /// responsibility range and deduplicated.
+  const std::vector<std::vector<KnownEdge>>* edges_by_holder = nullptr;
+  /// Per base-edge-id goal flag (the Êm edges of this ARB-LIST call).
+  const std::vector<bool>* goal_edge = nullptr;
+  int p = 4;
+  InClusterChargeMode charge_mode = InClusterChargeMode::measured;
+};
+
+struct InClusterCost {
+  std::int64_t max_send = 0;     ///< max messages sent by one cluster node
+  std::int64_t max_recv = 0;     ///< max messages received by one node
+  std::uint64_t messages = 0;    ///< total edge copies delivered
+  std::int64_t parts = 0;        ///< q, the number of partition parts
+  std::uint64_t cliques_reported = 0;
+};
+
+/// Runs the listing step; reports cliques into `out` (reporter = the global
+/// id of the cluster node that lists the clique) and returns the loads.
+InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
+                              ListingOutput& out);
+
+}  // namespace dcl

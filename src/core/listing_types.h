@@ -1,0 +1,156 @@
+// Shared configuration, output collection, and result types for the
+// distributed Kp-listing algorithms.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "congest/round_ledger.h"
+#include "enumeration/clique_enumeration.h"
+#include "expander/decomposition.h"
+#include "graph/graph.h"
+
+namespace dcl {
+
+/// Collects the listing output of every node. The distributed guarantee
+/// (Section 1) is that the *union* of all node outputs equals the set of Kp
+/// instances; several nodes may legitimately report the same clique, so the
+/// collector deduplicates and tracks the duplication factor.
+class ListingOutput {
+ public:
+  explicit ListingOutput(NodeId n) : per_node_reports_(static_cast<std::size_t>(n), 0) {}
+
+  /// Records that `reporter` output `clique` (any vertex order).
+  void report(NodeId reporter, std::span<const NodeId> clique) {
+    ++per_node_reports_[static_cast<std::size_t>(reporter)];
+    ++total_reports_;
+    unique_.insert(Clique(clique.begin(), clique.end()));
+  }
+
+  const CliqueSet& cliques() const { return unique_; }
+  std::uint64_t total_reports() const { return total_reports_; }
+  std::uint64_t unique_count() const { return unique_.size(); }
+  double duplication_factor() const {
+    return unique_.empty() ? 0.0
+                           : static_cast<double>(total_reports_) /
+                                 static_cast<double>(unique_.size());
+  }
+  std::uint64_t reports_of(NodeId v) const {
+    return per_node_reports_[static_cast<std::size_t>(v)];
+  }
+  std::uint64_t max_reports_per_node() const {
+    std::uint64_t best = 0;
+    for (auto r : per_node_reports_) best = std::max(best, r);
+    return best;
+  }
+
+ private:
+  CliqueSet unique_;
+  std::uint64_t total_reports_ = 0;
+  std::vector<std::uint64_t> per_node_reports_;
+};
+
+/// How the in-cluster lister charges the edge-distribution step.
+///  * measured  — by the actual maximum load of the random partition (the
+///    sparsity-aware accounting that Lemma 2.7 justifies);
+///  * worst_case — by the oblivious schedule a non-sparsity-aware algorithm
+///    needs: every node must budget for all potential vertex pairs between
+///    its parts, O(p² (n/q)²) slots. This is the ablation contrast of
+///    DESIGN.md E7(b).
+enum class InClusterChargeMode { measured, worst_case };
+
+/// Knobs for the Kp lister. The paper's thresholds are asymptotic formulas;
+/// each carries a scale factor so laptop-sized instances can exercise every
+/// mechanism (see DESIGN.md §4, "Thresholds and constants").
+struct KpConfig {
+  int p = 4;
+
+  /// Theorem 1.2 mode: C-light edges are never shipped into the cluster;
+  /// light nodes list their own K4s. Requires p == 4.
+  bool k4_fast = false;
+
+  /// Heavy threshold: general mode, a node is C-heavy when it has more than
+  /// heavy_scale · n^{1/4} neighbors in C (Section 2.4.1); in k4_fast mode
+  /// the threshold is heavy_scale · A / n^{1/3} (Section 3).
+  double heavy_scale = 1.0;
+
+  /// Bad-node threshold: u ∈ C is bad when it has more than
+  /// bad_scale · √n · log2(n) C-light neighbors. (The paper's constant is
+  /// 100; at laptop scale that disables the mechanism entirely, so the
+  /// default exercises it while tests check the |Er|-budget invariant.)
+  double bad_scale = 1.0;
+
+  /// Ablation switch (E7a): when false, bad nodes are never declared and
+  /// every Em edge stays a goal edge.
+  bool enable_bad_edges = true;
+
+  /// Ablation switch (E7b): sparsity-aware vs oblivious in-cluster charge.
+  InClusterChargeMode in_cluster_charge = InClusterChargeMode::measured;
+
+  /// Stop the outer arboricity-halving loop once the out-degree bound A
+  /// satisfies A ≤ stop_scale·n^{stop}, stop = max(3/4, p/(p+2)) (general)
+  /// or 2/3 (k4_fast). Negative = derive from p; override for experiments.
+  double stop_exponent_override = -1.0;
+
+  /// Multiplier on the stopping threshold n^{stop}. The paper's value is
+  /// 2·log2(n) (it stops when the coupled cluster degree n^δ = A/(2 log n)
+  /// would drop below n^{stop}); at laptop scale that exceeds n itself, so
+  /// the default 1.0 keeps the same asymptotic schedule with the polylog
+  /// factor normalized away (DESIGN.md §4).
+  double stop_scale = 1.0;
+
+  /// The §2.2 coupling n^δ = A / (coupling_scale · log2 n). Paper value:
+  /// coupling_scale = 2. The default 1.0 keeps clusters from degenerating
+  /// at laptop n; the arboricity-halving invariant is enforced by
+  /// measurement (the driver re-measures A and stops on non-progress).
+  double coupling_scale = 1.0;
+
+  /// Spectral/conductance knobs forwarded to the expander decomposition.
+  DecompositionConfig decomposition;
+
+  /// Safety cap on ARB-LIST iterations inside one LIST call.
+  int max_arb_iterations = 64;
+
+  /// Deterministic seed for all randomness (decomposition + partitions).
+  std::uint64_t seed = 1;
+};
+
+/// Per-ARB-LIST-iteration trace (experiment E8).
+struct ArbIterationTrace {
+  int list_iteration = 0;      ///< outer LIST index
+  int arb_iteration = 0;       ///< inner ARB-LIST index
+  std::int64_t er_before = 0;
+  std::int64_t er_after = 0;
+  std::int64_t es_total = 0;
+  std::int64_t goal_edges = 0;
+  std::int64_t bad_edges = 0;
+  std::int64_t clusters = 0;
+  std::int64_t heavy_relationships = 0;  ///< (node, cluster) heavy pairs
+  std::int64_t max_learned_edges = 0;    ///< Remark 2.10 quantity
+  double rounds = 0.0;
+};
+
+/// Per-LIST-iteration trace: the arboricity-halving schedule of §2.2.
+struct ListIterationTrace {
+  int list_iteration = 0;
+  std::int64_t arboricity_bound_before = 0;  ///< A (max out-degree witness)
+  std::int64_t arboricity_bound_after = 0;
+  std::int64_t cluster_degree = 0;           ///< n^δ = A/(2 log n)
+  std::int64_t edges_before = 0;
+  std::int64_t edges_after = 0;
+  double rounds = 0.0;
+};
+
+struct KpListResult {
+  RoundLedger ledger;
+  std::uint64_t unique_cliques = 0;
+  std::uint64_t total_reports = 0;
+  double duplication_factor = 0.0;
+  std::vector<ListIterationTrace> list_traces;
+  std::vector<ArbIterationTrace> arb_traces;
+  double total_rounds() const { return ledger.total_rounds(); }
+};
+
+}  // namespace dcl

@@ -1,0 +1,234 @@
+#include "enumeration/clique_enumeration.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/orientation.h"
+
+namespace dcl {
+
+bool CliqueSet::insert(Clique clique) {
+  std::sort(clique.begin(), clique.end());
+  return set_.insert(std::move(clique)).second;
+}
+
+bool CliqueSet::contains(Clique clique) const {
+  std::sort(clique.begin(), clique.end());
+  return set_.contains(clique);
+}
+
+std::vector<Clique> CliqueSet::difference(const CliqueSet& other) const {
+  std::vector<Clique> out;
+  for (const auto& c : set_) {
+    if (!other.set_.contains(c)) out.push_back(c);
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared recursive kernel over the degeneracy DAG. `emit` receives each
+/// completed clique; counting passes a counter-only lambda.
+template <typename Emit>
+void extend_clique(const std::vector<std::vector<NodeId>>& dag_out,
+                   std::vector<NodeId>& prefix,
+                   const std::vector<NodeId>& candidates, int p,
+                   Emit&& emit) {
+  if (static_cast<int>(prefix.size()) == p) {
+    emit(prefix);
+    return;
+  }
+  // Prune: not enough candidates left to complete the clique.
+  const int needed = p - static_cast<int>(prefix.size());
+  if (static_cast<int>(candidates.size()) < needed) return;
+
+  std::vector<NodeId> next;
+  for (const NodeId u : candidates) {
+    // Intersect the full candidate list with dag_out[u]: every element of
+    // dag_out[u] has strictly larger degeneracy rank than u, so each clique
+    // is discovered exactly once, along its unique rank-increasing chain.
+    next.clear();
+    const auto& out_u = dag_out[static_cast<std::size_t>(u)];
+    std::set_intersection(candidates.begin(), candidates.end(), out_u.begin(),
+                          out_u.end(), std::back_inserter(next));
+    prefix.push_back(u);
+    extend_clique(dag_out, prefix, next, p, emit);
+    prefix.pop_back();
+  }
+}
+
+/// Builds, per node, the sorted list of neighbors that come *later* in the
+/// degeneracy order. Every clique has exactly one representation as a path
+/// in this DAG starting from its earliest-ordered vertex.
+std::vector<std::vector<NodeId>> degeneracy_dag(const Graph& g) {
+  const auto dec = degeneracy_order(g);
+  std::vector<NodeId> rank(static_cast<std::size_t>(g.node_count()));
+  for (std::size_t i = 0; i < dec.order.size(); ++i) {
+    rank[static_cast<std::size_t>(dec.order[i])] = static_cast<NodeId>(i);
+  }
+  std::vector<std::vector<NodeId>> dag_out(
+      static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (NodeId w : g.neighbors(v)) {
+      if (rank[static_cast<std::size_t>(v)] <
+          rank[static_cast<std::size_t>(w)]) {
+        dag_out[static_cast<std::size_t>(v)].push_back(w);
+      }
+    }
+    // neighbors(v) is sorted by id, so dag_out[v] is too.
+  }
+  return dag_out;
+}
+
+template <typename Emit>
+void for_each_k_clique(const Graph& g, int p, Emit&& emit) {
+  if (p < 1) throw std::invalid_argument("k-clique enumeration: p < 1");
+  if (p == 1) {
+    std::vector<NodeId> single(1);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      single[0] = v;
+      emit(single);
+    }
+    return;
+  }
+  const auto dag_out = degeneracy_dag(g);
+  std::vector<NodeId> prefix;
+  prefix.reserve(static_cast<std::size_t>(p));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    prefix.assign(1, v);
+    extend_clique(dag_out, prefix, dag_out[static_cast<std::size_t>(v)], p,
+                  emit);
+  }
+}
+
+}  // namespace
+
+std::vector<Clique> list_k_cliques(const Graph& g, int p) {
+  std::vector<Clique> result;
+  for_each_k_clique(g, p, [&](const std::vector<NodeId>& clique) {
+    Clique c = clique;
+    std::sort(c.begin(), c.end());
+    result.push_back(std::move(c));
+  });
+  return result;
+}
+
+std::uint64_t count_k_cliques(const Graph& g, int p) {
+  std::uint64_t count = 0;
+  for_each_k_clique(g, p, [&](const std::vector<NodeId>&) { ++count; });
+  return count;
+}
+
+std::uint64_t count_k_cliques_naive(const Graph& g, int p) {
+  if (p < 1) throw std::invalid_argument("k-clique counting: p < 1");
+  if (p == 1) return static_cast<std::uint64_t>(g.node_count());
+  // Recursion over id-increasing neighbor chains; independent of the
+  // degeneracy machinery above. `depth` = number of vertices chosen so far.
+  std::uint64_t count = 0;
+  auto recurse = [&](auto&& self, const std::vector<NodeId>& cands,
+                     int depth) -> void {
+    if (depth == p) {
+      ++count;
+      return;
+    }
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      const NodeId u = cands[i];
+      std::vector<NodeId> next;
+      const auto nbrs = g.neighbors(u);
+      std::set_intersection(cands.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                            cands.end(), nbrs.begin(), nbrs.end(),
+                            std::back_inserter(next));
+      self(self, next, depth + 1);
+    }
+  };
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    std::vector<NodeId> cands;
+    for (NodeId w : g.neighbors(v)) {
+      if (w > v) cands.push_back(w);
+    }
+    recurse(recurse, cands, 1);
+  }
+  return count;
+}
+
+bool is_clique(const Graph& g, std::span<const NodeId> nodes) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      if (nodes[i] == nodes[j]) return false;
+      if (!g.has_edge(nodes[i], nodes[j])) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+void bron_kerbosch(const Graph& g, std::vector<NodeId>& r,
+                   std::vector<NodeId> p_set, std::vector<NodeId> x_set,
+                   std::vector<Clique>& out) {
+  if (p_set.empty() && x_set.empty()) {
+    out.push_back(r);
+    return;
+  }
+  // Pivot: vertex of P ∪ X with the most neighbors in P.
+  NodeId pivot = -1;
+  std::size_t best = 0;
+  for (const auto* side : {&p_set, &x_set}) {
+    for (NodeId u : *side) {
+      const auto nbrs = g.neighbors(u);
+      std::size_t cnt = 0;
+      for (NodeId w : p_set) {
+        if (std::binary_search(nbrs.begin(), nbrs.end(), w)) ++cnt;
+      }
+      if (pivot == -1 || cnt > best) {
+        pivot = u;
+        best = cnt;
+      }
+    }
+  }
+  const auto pivot_nbrs = g.neighbors(pivot);
+  std::vector<NodeId> branch;
+  for (NodeId v : p_set) {
+    if (!std::binary_search(pivot_nbrs.begin(), pivot_nbrs.end(), v)) {
+      branch.push_back(v);
+    }
+  }
+  for (NodeId v : branch) {
+    const auto v_nbrs = g.neighbors(v);
+    std::vector<NodeId> p_next, x_next;
+    std::set_intersection(p_set.begin(), p_set.end(), v_nbrs.begin(),
+                          v_nbrs.end(), std::back_inserter(p_next));
+    std::set_intersection(x_set.begin(), x_set.end(), v_nbrs.begin(),
+                          v_nbrs.end(), std::back_inserter(x_next));
+    r.push_back(v);
+    bron_kerbosch(g, r, std::move(p_next), std::move(x_next), out);
+    r.pop_back();
+    p_set.erase(std::find(p_set.begin(), p_set.end(), v));
+    x_set.insert(std::lower_bound(x_set.begin(), x_set.end(), v), v);
+  }
+}
+
+}  // namespace
+
+std::vector<Clique> maximal_cliques(const Graph& g) {
+  std::vector<Clique> out;
+  if (g.node_count() == 0) return out;
+  std::vector<NodeId> p_set(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    p_set[static_cast<std::size_t>(v)] = v;
+  }
+  std::vector<NodeId> r;
+  bron_kerbosch(g, r, std::move(p_set), {}, out);
+  for (auto& c : out) std::sort(c.begin(), c.end());
+  return out;
+}
+
+int clique_number(const Graph& g) {
+  int best = 0;
+  for (const auto& c : maximal_cliques(g)) {
+    best = std::max(best, static_cast<int>(c.size()));
+  }
+  return best;
+}
+
+}  // namespace dcl

@@ -1,0 +1,83 @@
+// Sequential (centralized) clique enumeration — the ground-truth oracle.
+//
+// Every distributed lister in this repository is validated against these
+// routines: the union of all node outputs must equal the exact set of Kp
+// instances. Two independent algorithms are provided so the oracle itself
+// is cross-checkable:
+//  * `list_k_cliques` — degeneracy-DAG recursive intersection
+//    (Chiba–Nishizeki style, O(m · α^{p-2}) for arboricity α);
+//  * `count_k_cliques_naive` — direct recursion on sorted adjacency,
+//    no degeneracy machinery (slower; used in tests as a second opinion).
+// Plus Bron–Kerbosch with pivoting for maximal cliques / clique number.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dcl {
+
+/// A clique, stored as a strictly increasing vector of node ids — the
+/// canonical form used for deduplication and set comparison.
+using Clique = std::vector<NodeId>;
+
+/// Canonical set of cliques with value semantics; the comparison target for
+/// listing validation.
+class CliqueSet {
+ public:
+  CliqueSet() = default;
+  explicit CliqueSet(const std::vector<Clique>& cliques) {
+    for (const auto& c : cliques) insert(c);
+  }
+
+  /// Inserts a clique given in any vertex order; returns true if new.
+  bool insert(Clique clique);
+  bool contains(Clique clique) const;
+  std::size_t size() const { return set_.size(); }
+  bool empty() const { return set_.empty(); }
+
+  /// Cliques present in `this` but not in `other`.
+  std::vector<Clique> difference(const CliqueSet& other) const;
+
+  bool operator==(const CliqueSet& other) const { return set_ == other.set_; }
+
+  std::vector<Clique> to_vector() const {
+    return {set_.begin(), set_.end()};
+  }
+
+ private:
+  struct VectorHash {
+    std::size_t operator()(const Clique& c) const {
+      std::size_t h = 0xcbf29ce484222325ULL;
+      for (NodeId v : c) {
+        h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+             (h >> 2);
+      }
+      return h;
+    }
+  };
+  std::unordered_set<Clique, VectorHash> set_;
+};
+
+/// All Kp instances of g, each as a sorted vertex vector. p >= 1.
+/// p = 1 lists vertices, p = 2 lists edges.
+std::vector<Clique> list_k_cliques(const Graph& g, int p);
+
+/// Number of Kp instances (no materialization).
+std::uint64_t count_k_cliques(const Graph& g, int p);
+
+/// Independent counting implementation used to cross-check the oracle.
+std::uint64_t count_k_cliques_naive(const Graph& g, int p);
+
+/// Whether `nodes` (any order, distinct) induce a complete subgraph.
+bool is_clique(const Graph& g, std::span<const NodeId> nodes);
+
+/// All maximal cliques via Bron–Kerbosch with pivoting.
+std::vector<Clique> maximal_cliques(const Graph& g);
+
+/// Clique number ω(G) (size of the largest clique).
+int clique_number(const Graph& g);
+
+}  // namespace dcl

@@ -1,0 +1,59 @@
+// Random and structured graph generators.
+//
+// The experiment harnesses sweep Erdős–Rényi graphs G(n,m) across densities
+// (the natural workload for sparsity-aware listing, Theorem 1.3), stochastic
+// block models (community graphs whose blocks the expander decomposition
+// should recover), power-law graphs (the skewed-degree stress case for the
+// heavy/light machinery of Section 2.4.1), and closed-form families used as
+// correctness oracles (K_n has C(n,p) cliques, bipartite graphs have none).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace dcl {
+
+/// G(n, m): exactly m distinct edges, uniform over all edge sets.
+/// Throws if m exceeds C(n,2).
+Graph erdos_renyi_gnm(NodeId n, EdgeId m, Rng& rng);
+
+/// G(n, p): each edge present independently with probability p.
+Graph erdos_renyi_gnp(NodeId n, double p, Rng& rng);
+
+/// G(n, p) noise plus a clique planted on a uniformly random vertex subset.
+struct PlantedClique {
+  Graph graph;
+  std::vector<NodeId> clique_nodes;  ///< sorted members of the planted clique
+};
+PlantedClique planted_clique(NodeId n, NodeId clique_size, double noise_p,
+                             Rng& rng);
+
+/// Stochastic block model: nodes are split into consecutive blocks of the
+/// given sizes; intra-block edges appear with probability `p_in`, cross-block
+/// with `p_out`.
+Graph stochastic_block_model(const std::vector<NodeId>& block_sizes,
+                             double p_in, double p_out, Rng& rng);
+
+/// Chung–Lu power-law graph: expected degree of node i proportional to
+/// (i+1)^{-1/(exponent-1)}, scaled so the expected average degree is
+/// `target_avg_degree`. Typical social-network exponent: 2.5.
+Graph power_law_chung_lu(NodeId n, double exponent, double target_avg_degree,
+                         Rng& rng);
+
+/// Random d-regular graph via the configuration model with rejection
+/// (restart on self-loop/duplicate). Requires n*d even and d < n.
+Graph random_regular(NodeId n, NodeId d, Rng& rng);
+
+Graph complete_graph(NodeId n);
+Graph complete_bipartite(NodeId a, NodeId b);
+Graph star_graph(NodeId n);   ///< node 0 is the hub
+Graph path_graph(NodeId n);
+Graph cycle_graph(NodeId n);
+Graph empty_graph(NodeId n);
+
+/// Disjoint union (node ids of `b` shifted by a.node_count()).
+Graph disjoint_union(const Graph& a, const Graph& b);
+
+}  // namespace dcl

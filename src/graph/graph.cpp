@@ -1,0 +1,165 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace dcl {
+
+Graph Graph::from_edges(NodeId n, std::vector<Edge> edges) {
+  if (n < 0) throw std::invalid_argument("Graph: negative node count");
+  for (auto& e : edges) {
+    if (e.u == e.v) throw std::invalid_argument("Graph: self-loop");
+    if (e.u < 0 || e.v < 0 || e.u >= n || e.v >= n) {
+      throw std::invalid_argument("Graph: endpoint out of range");
+    }
+    e = make_edge(e.u, e.v);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Graph g;
+  g.n_ = n;
+  g.edges_ = std::move(edges);
+  const auto m = g.edges_.size();
+
+  std::vector<std::size_t> deg(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& e : g.edges_) {
+    ++deg[static_cast<std::size_t>(e.u)];
+    ++deg[static_cast<std::size_t>(e.v)];
+  }
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    g.offsets_[static_cast<std::size_t>(v) + 1] =
+        g.offsets_[static_cast<std::size_t>(v)] +
+        deg[static_cast<std::size_t>(v)];
+  }
+  g.adj_.resize(2 * m);
+  g.adj_edge_.resize(2 * m);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    const Edge& e = g.edges_[i];
+    auto& cu = cursor[static_cast<std::size_t>(e.u)];
+    g.adj_[cu] = e.v;
+    g.adj_edge_[cu] = static_cast<EdgeId>(i);
+    ++cu;
+    auto& cv = cursor[static_cast<std::size_t>(e.v)];
+    g.adj_[cv] = e.u;
+    g.adj_edge_[cv] = static_cast<EdgeId>(i);
+    ++cv;
+  }
+  // Neighbor lists must be sorted for binary-search adjacency and for the
+  // sorted-intersection enumeration kernels. Sort each node's slice together
+  // with the aligned edge ids.
+  for (NodeId v = 0; v < n; ++v) {
+    const auto begin = g.offsets_[static_cast<std::size_t>(v)];
+    const auto end = g.offsets_[static_cast<std::size_t>(v) + 1];
+    std::vector<std::pair<NodeId, EdgeId>> slice;
+    slice.reserve(end - begin);
+    for (auto i = begin; i < end; ++i) {
+      slice.emplace_back(g.adj_[i], g.adj_edge_[i]);
+    }
+    std::sort(slice.begin(), slice.end());
+    for (std::size_t k = 0; k < slice.size(); ++k) {
+      g.adj_[begin + k] = slice[k].first;
+      g.adj_edge_[begin + k] = slice[k].second;
+    }
+  }
+  return g;
+}
+
+std::optional<EdgeId> Graph::edge_id(NodeId a, NodeId b) const {
+  if (a < 0 || b < 0 || a >= n_ || b >= n_ || a == b) return std::nullopt;
+  // Search from the lower-degree endpoint.
+  if (degree(a) > degree(b)) std::swap(a, b);
+  const auto nbrs = neighbors(a);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), b);
+  if (it == nbrs.end() || *it != b) return std::nullopt;
+  const auto pos = static_cast<std::size_t>(it - nbrs.begin());
+  return incident_edges(a)[pos];
+}
+
+NodeId Graph::max_degree() const {
+  NodeId best = 0;
+  for (NodeId v = 0; v < n_; ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+double Graph::average_degree() const {
+  if (n_ == 0) return 0.0;
+  return 2.0 * static_cast<double>(edge_count()) / static_cast<double>(n_);
+}
+
+std::pair<std::vector<int>, int> Graph::connected_components() const {
+  std::vector<int> comp(static_cast<std::size_t>(n_), -1);
+  int count = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n_; ++s) {
+    if (comp[static_cast<std::size_t>(s)] != -1) continue;
+    comp[static_cast<std::size_t>(s)] = count;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (NodeId w : neighbors(v)) {
+        if (comp[static_cast<std::size_t>(w)] == -1) {
+          comp[static_cast<std::size_t>(w)] = count;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++count;
+  }
+  return {std::move(comp), count};
+}
+
+void EdgeListBuilder::add_edge(NodeId a, NodeId b) {
+  if (a == b) throw std::invalid_argument("EdgeListBuilder: self-loop");
+  if (a < 0 || b < 0 || a >= n_ || b >= n_) {
+    throw std::invalid_argument("EdgeListBuilder: endpoint out of range");
+  }
+  edges_.push_back(make_edge(a, b));
+}
+
+Graph EdgeListBuilder::build() && {
+  return Graph::from_edges(n_, std::move(edges_));
+}
+
+Graph edge_subgraph(const Graph& g, const std::vector<bool>& keep) {
+  if (keep.size() != static_cast<std::size_t>(g.edge_count())) {
+    throw std::invalid_argument("edge_subgraph: mask size mismatch");
+  }
+  std::vector<Edge> kept;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (keep[static_cast<std::size_t>(e)]) kept.push_back(g.edge(e));
+  }
+  return Graph::from_edges(g.node_count(), std::move(kept));
+}
+
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 std::span<const NodeId> nodes) {
+  std::vector<NodeId> to_original(nodes.begin(), nodes.end());
+  std::sort(to_original.begin(), to_original.end());
+  to_original.erase(std::unique(to_original.begin(), to_original.end()),
+                    to_original.end());
+  std::vector<NodeId> to_new(static_cast<std::size_t>(g.node_count()), -1);
+  for (std::size_t i = 0; i < to_original.size(); ++i) {
+    to_new[static_cast<std::size_t>(to_original[i])] =
+        static_cast<NodeId>(i);
+  }
+  std::vector<Edge> edges;
+  for (NodeId nv = 0; nv < static_cast<NodeId>(to_original.size()); ++nv) {
+    const NodeId ov = to_original[static_cast<std::size_t>(nv)];
+    for (NodeId ow : g.neighbors(ov)) {
+      const NodeId nw = to_new[static_cast<std::size_t>(ow)];
+      if (nw > nv) edges.push_back(Edge{nv, nw});
+    }
+  }
+  InducedSubgraph result;
+  result.graph = Graph::from_edges(static_cast<NodeId>(to_original.size()),
+                                   std::move(edges));
+  result.to_original = std::move(to_original);
+  return result;
+}
+
+}  // namespace dcl

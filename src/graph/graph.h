@@ -1,0 +1,137 @@
+// Immutable undirected simple graph in CSR form, with stable edge ids.
+//
+// This is the substrate every other module builds on. The listing
+// algorithms of the paper repeatedly partition the edge set (E = Em ∪ Es ∪
+// Er, goal edges vs. bad edges, ...), so edges carry dense ids `0..m-1`
+// that subsets and orientations can index by.
+//
+// Conventions:
+//  * Nodes are `0..n-1`. Edges are stored normalized with `u < v`.
+//  * Self-loops and duplicate edges are rejected at construction.
+//  * Neighbor lists are sorted, enabling O(log deg) adjacency queries and
+//    linear-time sorted-list intersections in the enumeration module.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dcl {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int64_t;
+
+/// An undirected edge, normalized so that `u < v`.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Returns {min(a,b), max(a,b)}; the canonical form used everywhere.
+constexpr Edge make_edge(NodeId a, NodeId b) {
+  return (a < b) ? Edge{a, b} : Edge{b, a};
+}
+
+/// Immutable simple graph. Construct via `from_edges` or an `EdgeListBuilder`.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a graph on nodes 0..n-1 from an arbitrary edge collection.
+  /// Edges are normalized, sorted, and deduplicated. Throws
+  /// `std::invalid_argument` on self-loops or endpoints outside [0, n).
+  static Graph from_edges(NodeId n, std::vector<Edge> edges);
+
+  NodeId node_count() const { return n_; }
+  EdgeId edge_count() const { return static_cast<EdgeId>(edges_.size()); }
+
+  /// All edges, sorted lexicographically; `edges()[e]` is the edge with id e.
+  std::span<const Edge> edges() const { return edges_; }
+  const Edge& edge(EdgeId e) const {
+    return edges_[static_cast<std::size_t>(e)];
+  }
+
+  NodeId degree(NodeId v) const {
+    return static_cast<NodeId>(offset(v + 1) - offset(v));
+  }
+
+  /// Sorted neighbor list of v.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {adj_.data() + offset(v), adj_.data() + offset(v + 1)};
+  }
+
+  /// Edge ids aligned with `neighbors(v)`: incident_edges(v)[i] is the id of
+  /// the edge {v, neighbors(v)[i]}.
+  std::span<const EdgeId> incident_edges(NodeId v) const {
+    return {adj_edge_.data() + offset(v), adj_edge_.data() + offset(v + 1)};
+  }
+
+  bool has_edge(NodeId a, NodeId b) const { return edge_id(a, b).has_value(); }
+
+  /// Id of edge {a,b} if present.
+  std::optional<EdgeId> edge_id(NodeId a, NodeId b) const;
+
+  /// Given an endpoint `v` of edge `e`, returns the other endpoint.
+  NodeId other_endpoint(EdgeId e, NodeId v) const {
+    const Edge& ed = edge(e);
+    return (ed.u == v) ? ed.v : ed.u;
+  }
+
+  NodeId max_degree() const;
+  double average_degree() const;
+
+  /// Connected components; returns (component id per node, component count).
+  std::pair<std::vector<int>, int> connected_components() const;
+
+ private:
+  std::size_t offset(NodeId v) const {
+    return offsets_[static_cast<std::size_t>(v)];
+  }
+
+  NodeId n_ = 0;
+  std::vector<Edge> edges_;          // sorted, normalized
+  std::vector<std::size_t> offsets_; // size n+1
+  std::vector<NodeId> adj_;          // size 2m, sorted per node
+  std::vector<EdgeId> adj_edge_;     // size 2m, aligned with adj_
+};
+
+/// Incremental edge collector that tolerates duplicates and reversed pairs;
+/// `build` normalizes everything into a `Graph`.
+class EdgeListBuilder {
+ public:
+  explicit EdgeListBuilder(NodeId n) : n_(n) {}
+
+  /// Records edge {a,b}; duplicates are dropped at build time. Self-loops
+  /// are rejected immediately.
+  void add_edge(NodeId a, NodeId b);
+
+  NodeId node_count() const { return n_; }
+  std::size_t pending_edges() const { return edges_.size(); }
+
+  Graph build() &&;
+
+ private:
+  NodeId n_;
+  std::vector<Edge> edges_;
+};
+
+/// Builds the subgraph of `g` induced by keeping exactly the edges with
+/// `keep[e] == true` (same node set). `keep.size()` must equal edge count.
+Graph edge_subgraph(const Graph& g, const std::vector<bool>& keep);
+
+/// Builds the subgraph induced by a node subset. Returns the subgraph (whose
+/// nodes are re-numbered 0..|subset|-1) and the mapping from new id to
+/// original id.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<NodeId> to_original;
+};
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 std::span<const NodeId> nodes);
+
+}  // namespace dcl

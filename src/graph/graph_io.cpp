@@ -1,0 +1,86 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dcl {
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << g.node_count() << ' ' << g.edge_count() << '\n';
+  for (const Edge& e : g.edges()) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+}
+
+namespace {
+
+/// Reads the next non-comment token line-by-line.
+bool next_token(std::istream& in, std::string& token) {
+  while (in >> token) {
+    if (token[0] == '#') {
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::int64_t parse_int(const std::string& token, const char* what) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t value = std::stoll(token, &used);
+    if (used != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("read_edge_list: bad ") + what +
+                             " token '" + token + "'");
+  }
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in) {
+  std::string token;
+  if (!next_token(in, token)) {
+    throw std::runtime_error("read_edge_list: missing node count");
+  }
+  const std::int64_t n = parse_int(token, "node count");
+  if (!next_token(in, token)) {
+    throw std::runtime_error("read_edge_list: missing edge count");
+  }
+  const std::int64_t m = parse_int(token, "edge count");
+  if (n < 0 || m < 0) {
+    throw std::runtime_error("read_edge_list: negative counts");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (std::int64_t i = 0; i < m; ++i) {
+    if (!next_token(in, token)) {
+      throw std::runtime_error("read_edge_list: truncated edge list");
+    }
+    const std::int64_t u = parse_int(token, "endpoint");
+    if (!next_token(in, token)) {
+      throw std::runtime_error("read_edge_list: truncated edge");
+    }
+    const std::int64_t v = parse_int(token, "endpoint");
+    edges.push_back(make_edge(static_cast<NodeId>(u), static_cast<NodeId>(v)));
+  }
+  return Graph::from_edges(static_cast<NodeId>(n), std::move(edges));
+}
+
+void save_edge_list(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_edge_list: cannot open " + path);
+  write_edge_list(g, out);
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_edge_list: cannot open " + path);
+  return read_edge_list(in);
+}
+
+}  // namespace dcl

@@ -1,0 +1,25 @@
+// Plain-text edge-list serialization.
+//
+// Format (whitespace separated, '#' comments allowed):
+//   n m
+//   u v          (one line per edge)
+// Used by the examples so users can run the listers on their own graphs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace dcl {
+
+void write_edge_list(const Graph& g, std::ostream& out);
+
+/// Parses the format above. Throws `std::runtime_error` on malformed input
+/// (bad counts, out-of-range endpoints, self-loops).
+Graph read_edge_list(std::istream& in);
+
+void save_edge_list(const Graph& g, const std::string& path);
+Graph load_edge_list(const std::string& path);
+
+}  // namespace dcl

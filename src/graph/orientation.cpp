@@ -1,0 +1,132 @@
+#include "graph/orientation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dcl {
+
+Orientation Orientation::from_order(const Graph& g,
+                                    std::span<const NodeId> order) {
+  if (order.size() != static_cast<std::size_t>(g.node_count())) {
+    throw std::invalid_argument("Orientation: order size mismatch");
+  }
+  std::vector<NodeId> rank(order.size(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    rank[static_cast<std::size_t>(order[i])] = static_cast<NodeId>(i);
+  }
+  for (NodeId r : rank) {
+    if (r < 0) throw std::invalid_argument("Orientation: not a permutation");
+  }
+  std::vector<bool> away(static_cast<std::size_t>(g.edge_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& ed = g.edge(e);
+    away[static_cast<std::size_t>(e)] =
+        rank[static_cast<std::size_t>(ed.u)] <
+        rank[static_cast<std::size_t>(ed.v)];
+  }
+  return from_directions(g, std::move(away));
+}
+
+Orientation Orientation::from_directions(const Graph& g,
+                                         std::vector<bool> away_from_lower) {
+  if (away_from_lower.size() != static_cast<std::size_t>(g.edge_count())) {
+    throw std::invalid_argument("Orientation: direction size mismatch");
+  }
+  Orientation o;
+  o.g_ = &g;
+  o.away_ = std::move(away_from_lower);
+  o.build_out_csr();
+  return o;
+}
+
+void Orientation::build_out_csr() {
+  const Graph& g = *g_;
+  const auto n = static_cast<std::size_t>(g.node_count());
+  std::vector<std::size_t> deg(n + 1, 0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    ++deg[static_cast<std::size_t>(tail(e))];
+  }
+  out_offsets_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    out_offsets_[v + 1] = out_offsets_[v] + deg[v];
+  }
+  out_adj_.resize(static_cast<std::size_t>(g.edge_count()));
+  out_edge_.resize(static_cast<std::size_t>(g.edge_count()));
+  std::vector<std::size_t> cursor(out_offsets_.begin(),
+                                  out_offsets_.end() - 1);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    auto& c = cursor[static_cast<std::size_t>(tail(e))];
+    out_adj_[c] = head(e);
+    out_edge_[c] = e;
+    ++c;
+  }
+}
+
+NodeId Orientation::max_out_degree() const {
+  NodeId best = 0;
+  for (NodeId v = 0; v < g_->node_count(); ++v) {
+    best = std::max(best, out_degree(v));
+  }
+  return best;
+}
+
+DegeneracyResult degeneracy_order(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  DegeneracyResult result;
+  result.order.reserve(n);
+  result.core_number.assign(n, 0);
+  if (n == 0) return result;
+
+  // Bucket queue keyed by current degree.
+  std::vector<NodeId> deg(n);
+  NodeId max_deg = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    deg[static_cast<std::size_t>(v)] = g.degree(v);
+    max_deg = std::max(max_deg, g.degree(v));
+  }
+  std::vector<std::vector<NodeId>> buckets(
+      static_cast<std::size_t>(max_deg) + 1);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    buckets[static_cast<std::size_t>(deg[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  }
+  std::vector<bool> removed(n, false);
+  NodeId current_core = 0;
+  std::size_t cursor = 0;  // lowest possibly non-empty bucket
+  for (std::size_t peeled = 0; peeled < n; ++peeled) {
+    while (cursor < buckets.size() && buckets[cursor].empty()) ++cursor;
+    // Entries can be stale (degree decreased after insertion); skip them.
+    while (true) {
+      NodeId v = buckets[cursor].back();
+      buckets[cursor].pop_back();
+      const auto vi = static_cast<std::size_t>(v);
+      if (!removed[vi] && deg[vi] == static_cast<NodeId>(cursor)) {
+        current_core = std::max(current_core, static_cast<NodeId>(cursor));
+        result.core_number[vi] = current_core;
+        result.order.push_back(v);
+        removed[vi] = true;
+        for (NodeId w : g.neighbors(v)) {
+          const auto wi = static_cast<std::size_t>(w);
+          if (!removed[wi]) {
+            --deg[wi];
+            buckets[static_cast<std::size_t>(deg[wi])].push_back(w);
+            if (static_cast<std::size_t>(deg[wi]) < cursor) {
+              cursor = static_cast<std::size_t>(deg[wi]);
+            }
+          }
+        }
+        break;
+      }
+      while (cursor < buckets.size() && buckets[cursor].empty()) ++cursor;
+    }
+  }
+  result.degeneracy = current_core;
+  return result;
+}
+
+Orientation degeneracy_orientation(const Graph& g) {
+  const auto dec = degeneracy_order(g);
+  return Orientation::from_order(g, dec.order);
+}
+
+}  // namespace dcl

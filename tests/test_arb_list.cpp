@@ -1,0 +1,218 @@
+#include "core/arb_list.h"
+
+#include <gtest/gtest.h>
+
+#include "enumeration/clique_enumeration.h"
+#include "graph/generators.h"
+#include "graph/orientation.h"
+
+namespace dcl {
+namespace {
+
+struct ArbHarness {
+  Graph g;
+  RoundLedger ledger;
+  KpConfig cfg;
+  Rng rng{17};
+  std::vector<bool> es, er, away;
+  std::int64_t arboricity_bound = 1;
+
+  explicit ArbHarness(Graph graph, int p) : g(std::move(graph)) {
+    cfg.p = p;
+    const Orientation o = degeneracy_orientation(g);
+    away.resize(static_cast<std::size_t>(g.edge_count()));
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      away[static_cast<std::size_t>(e)] = o.away_from_lower(e);
+    }
+    es.assign(static_cast<std::size_t>(g.edge_count()), false);
+    er.assign(static_cast<std::size_t>(g.edge_count()), true);
+    arboricity_bound = std::max<std::int64_t>(1, o.max_out_degree());
+  }
+
+  ArbIterationTrace step(ListingOutput& out, std::int64_t cluster_degree) {
+    ArbListContext ctx;
+    ctx.base = &g;
+    ctx.ledger = &ledger;
+    ctx.cfg = &cfg;
+    ctx.rng = &rng;
+    ctx.out = &out;
+    ctx.es_mask = &es;
+    ctx.er_mask = &er;
+    ctx.away = &away;
+    ctx.cluster_degree = cluster_degree;
+    ctx.arboricity_bound = arboricity_bound;
+    return arb_list(ctx);
+  }
+
+  /// Base edge ids removed by the call (goal edges): neither Es nor Er.
+  std::vector<bool> removed_mask() const {
+    std::vector<bool> removed(static_cast<std::size_t>(g.edge_count()), false);
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      removed[static_cast<std::size_t>(e)] =
+          !es[static_cast<std::size_t>(e)] && !er[static_cast<std::size_t>(e)];
+    }
+    return removed;
+  }
+};
+
+/// The Theorem 2.9 contract: every Kp of the input edge set with at least
+/// one removed (goal) edge is listed; listed cliques are real.
+void expect_goal_coverage(const ArbHarness& h, const ListingOutput& out,
+                          int p) {
+  const auto removed = h.removed_mask();
+  const auto truth = list_k_cliques(h.g, p);
+  std::size_t expected = 0;
+  for (const auto& clique : truth) {
+    bool has_goal = false;
+    for (std::size_t x = 0; x < clique.size() && !has_goal; ++x) {
+      for (std::size_t y = x + 1; y < clique.size() && !has_goal; ++y) {
+        const auto eid = h.g.edge_id(clique[x], clique[y]);
+        if (eid && removed[static_cast<std::size_t>(*eid)]) has_goal = true;
+      }
+    }
+    if (has_goal) {
+      ++expected;
+      EXPECT_TRUE(out.cliques().contains(clique))
+          << "missing clique with goal edge";
+    }
+  }
+  // No false positives: everything reported is a real p-clique.
+  CliqueSet truth_set{truth};
+  for (const auto& c : out.cliques().to_vector()) {
+    EXPECT_TRUE(truth_set.contains(c)) << "reported a non-clique";
+  }
+  EXPECT_GE(out.unique_count(), expected);
+}
+
+TEST(ArbList, DenseGraphOnePassCoverage) {
+  Rng gen(1);
+  ArbHarness h(erdos_renyi_gnm(120, 3200, gen), 4);
+  ListingOutput out(h.g.node_count());
+  const auto trace = h.step(out, /*cluster_degree=*/8);
+  EXPECT_GT(trace.clusters, 0);
+  EXPECT_GT(trace.goal_edges, 0);
+  EXPECT_LT(trace.er_after, trace.er_before);
+  expect_goal_coverage(h, out, 4);
+}
+
+TEST(ArbList, P5Coverage) {
+  Rng gen(2);
+  ArbHarness h(erdos_renyi_gnm(90, 2400, gen), 5);
+  ListingOutput out(h.g.node_count());
+  h.step(out, 8);
+  expect_goal_coverage(h, out, 5);
+}
+
+TEST(ArbList, TriangleCoverage) {
+  Rng gen(3);
+  ArbHarness h(erdos_renyi_gnm(100, 2000, gen), 3);
+  ListingOutput out(h.g.node_count());
+  h.step(out, 6);
+  expect_goal_coverage(h, out, 3);
+}
+
+TEST(ArbList, K4FastModeCoverage) {
+  Rng gen(4);
+  ArbHarness h(erdos_renyi_gnm(110, 2800, gen), 4);
+  h.cfg.k4_fast = true;
+  ListingOutput out(h.g.node_count());
+  h.step(out, 8);
+  expect_goal_coverage(h, out, 4);
+}
+
+TEST(ArbList, EmptyErIsNoOp) {
+  Rng gen(5);
+  ArbHarness h(erdos_renyi_gnm(30, 100, gen), 4);
+  std::fill(h.er.begin(), h.er.end(), false);
+  ListingOutput out(h.g.node_count());
+  const auto trace = h.step(out, 4);
+  EXPECT_EQ(trace.er_before, 0);
+  EXPECT_EQ(trace.er_after, 0);
+  EXPECT_EQ(out.unique_count(), 0u);
+  EXPECT_DOUBLE_EQ(h.ledger.total_rounds(), 0.0);
+}
+
+TEST(ArbList, SparseGraphPeelsWithoutClusters) {
+  // A path has no n^δ-cluster: everything goes to Es, nothing is listed,
+  // and no communication phases run.
+  ArbHarness h(path_graph(60), 4);
+  ListingOutput out(h.g.node_count());
+  const auto trace = h.step(out, 5);
+  EXPECT_EQ(trace.clusters, 0);
+  EXPECT_EQ(trace.er_after, 0);
+  EXPECT_EQ(trace.es_total, h.g.edge_count());
+  EXPECT_EQ(out.unique_count(), 0u);
+}
+
+TEST(ArbList, EsOrientationStaysBounded) {
+  Rng gen(6);
+  ArbHarness h(erdos_renyi_gnm(100, 2500, gen), 4);
+  ListingOutput out(h.g.node_count());
+  const std::int64_t cluster_degree = 8;
+  h.step(out, cluster_degree);
+  // Theorem 2.9: Es out-degree grows by at most n^δ per call (we ran one
+  // call from Es = ∅, so the witness must be ≤ n^δ).
+  std::vector<std::int64_t> outdeg(static_cast<std::size_t>(h.g.node_count()),
+                                   0);
+  for (EdgeId e = 0; e < h.g.edge_count(); ++e) {
+    if (!h.es[static_cast<std::size_t>(e)]) continue;
+    const Edge& ed = h.g.edge(e);
+    ++outdeg[static_cast<std::size_t>(
+        h.away[static_cast<std::size_t>(e)] ? ed.u : ed.v)];
+  }
+  for (const auto d : outdeg) EXPECT_LE(d, cluster_degree);
+}
+
+TEST(ArbList, BadEdgeBudgetRespected) {
+  // Aggressively low bad threshold to force the mechanism on, then check
+  // the budget |bad| ≤ |Er|/12 that keeps Theorem 2.9's |Êr| ≤ |Er|/4
+  // accounting intact (the paper proves 1/25 with its constants).
+  Rng gen(7);
+  ArbHarness h(erdos_renyi_gnm(150, 4500, gen), 4);
+  h.cfg.bad_scale = 0.2;
+  ListingOutput out(h.g.node_count());
+  const auto trace = h.step(out, 10);
+  // Theorem 2.9 accounting: |Êr| = |E'r| + |bad| must stay ≤ |Er|/4.
+  EXPECT_LE(trace.er_after, trace.er_before / 4)
+      << "bad edges broke the Er decay budget";
+  expect_goal_coverage(h, out, 4);
+}
+
+TEST(ArbList, DisabledBadEdgesStillCorrect) {
+  Rng gen(8);
+  ArbHarness h(erdos_renyi_gnm(100, 2600, gen), 4);
+  h.cfg.enable_bad_edges = false;
+  ListingOutput out(h.g.node_count());
+  const auto trace = h.step(out, 8);
+  EXPECT_EQ(trace.bad_edges, 0);
+  expect_goal_coverage(h, out, 4);
+}
+
+TEST(ArbList, RemarkLearnedEdgeBoundHolds) {
+  // Remark 2.10: every cluster node learns Õ(n^{d+3/4}) edges; with
+  // A = n^d the bound is A · n^{3/4} (log factors absorbed by slack 8).
+  Rng gen(9);
+  ArbHarness h(erdos_renyi_gnm(120, 3600, gen), 4);
+  ListingOutput out(h.g.node_count());
+  const auto trace = h.step(out, 8);
+  const double bound =
+      8.0 * static_cast<double>(h.arboricity_bound) *
+      std::pow(static_cast<double>(h.g.node_count()), 0.75);
+  EXPECT_LE(static_cast<double>(trace.max_learned_edges), bound);
+}
+
+TEST(ArbList, DeterministicUnderSeed) {
+  Rng gen(10);
+  const Graph g = erdos_renyi_gnm(80, 1600, gen);
+  ArbHarness h1(g, 4), h2(g, 4);
+  ListingOutput o1(g.node_count()), o2(g.node_count());
+  const auto t1 = h1.step(o1, 6);
+  const auto t2 = h2.step(o2, 6);
+  EXPECT_EQ(t1.er_after, t2.er_after);
+  EXPECT_EQ(t1.goal_edges, t2.goal_edges);
+  EXPECT_TRUE(o1.cliques() == o2.cliques());
+  EXPECT_DOUBLE_EQ(h1.ledger.total_rounds(), h2.ledger.total_rounds());
+}
+
+}  // namespace
+}  // namespace dcl

@@ -1,0 +1,96 @@
+#include "congest/clique_network.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dcl {
+namespace {
+
+TEST(CliqueNetwork, DirectModeCountsPerPair) {
+  CliqueNetwork net(4, CliqueRoutingMode::direct);
+  net.begin_phase("t");
+  for (int i = 0; i < 3; ++i) net.send(0, 1, Message{.tag = i});
+  net.send(2, 3, Message{});
+  EXPECT_EQ(net.end_phase(), 3);
+  EXPECT_EQ(net.inbox(1).size(), 3u);
+  EXPECT_EQ(net.inbox(3).size(), 1u);
+}
+
+TEST(CliqueNetwork, DirectModeOppositeDirectionsIndependent) {
+  CliqueNetwork net(2, CliqueRoutingMode::direct);
+  net.begin_phase("t");
+  net.send(0, 1, Message{});
+  net.send(1, 0, Message{});
+  EXPECT_EQ(net.end_phase(), 1);
+}
+
+TEST(CliqueNetwork, LenzenModeUsesAggregateLoads) {
+  const NodeId n = 11;
+  CliqueNetwork net(n, CliqueRoutingMode::lenzen);
+  net.begin_phase("t");
+  // Node 0 sends 30 messages spread over all 10 peers: max load 30,
+  // bandwidth n-1 = 10 -> ceil(30/10) + 2 = 5 rounds.
+  for (int i = 0; i < 30; ++i) {
+    net.send(0, static_cast<NodeId>(1 + (i % 10)), Message{.tag = i});
+  }
+  EXPECT_EQ(net.end_phase(), 5);
+}
+
+TEST(CliqueNetwork, LenzenModeReceiveBound) {
+  const NodeId n = 11;
+  CliqueNetwork net(n, CliqueRoutingMode::lenzen);
+  net.begin_phase("t");
+  // All 10 peers send 4 messages each to node 0: receive load 40 ->
+  // ceil(40/10) + 2 = 6 rounds.
+  for (NodeId v = 1; v < n; ++v) {
+    for (int i = 0; i < 4; ++i) net.send(v, 0, Message{.tag = i});
+  }
+  EXPECT_EQ(net.end_phase(), 6);
+  EXPECT_EQ(net.inbox(0).size(), 40u);
+}
+
+TEST(CliqueNetwork, EmptyPhaseCostsNothing) {
+  CliqueNetwork net(5);
+  net.begin_phase("idle");
+  EXPECT_EQ(net.end_phase(), 0);
+}
+
+TEST(CliqueNetwork, RejectsBadEndpoints) {
+  CliqueNetwork net(3);
+  net.begin_phase("t");
+  EXPECT_THROW(net.send(0, 0, Message{}), std::invalid_argument);
+  EXPECT_THROW(net.send(0, 5, Message{}), std::invalid_argument);
+  EXPECT_THROW(net.send(-1, 1, Message{}), std::invalid_argument);
+  net.end_phase();
+}
+
+TEST(CliqueNetwork, PhaseProtocolEnforced) {
+  CliqueNetwork net(3);
+  EXPECT_THROW(net.send(0, 1, Message{}), std::logic_error);
+  EXPECT_THROW(net.end_phase(), std::logic_error);
+  net.begin_phase("a");
+  EXPECT_THROW(net.begin_phase("b"), std::logic_error);
+  net.end_phase();
+}
+
+TEST(CliqueNetwork, RequiresTwoNodes) {
+  EXPECT_THROW(CliqueNetwork net(1), std::invalid_argument);
+}
+
+TEST(CliqueNetwork, InboxSortedBySender) {
+  CliqueNetwork net(5);
+  net.begin_phase("t");
+  net.send(4, 0, Message{.tag = 4});
+  net.send(2, 0, Message{.tag = 2});
+  net.send(3, 0, Message{.tag = 3});
+  net.end_phase();
+  const auto& inbox = net.inbox(0);
+  ASSERT_EQ(inbox.size(), 3u);
+  EXPECT_EQ(inbox[0].from, 2);
+  EXPECT_EQ(inbox[1].from, 3);
+  EXPECT_EQ(inbox[2].from, 4);
+}
+
+}  // namespace
+}  // namespace dcl

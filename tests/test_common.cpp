@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/table.h"
+
+namespace dcl {
+namespace {
+
+TEST(Table, AlignsColumnsAndRules) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(1);
+  t.row().add("much-longer-name").add(12345);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header and both rows present.
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("much-longer-name"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  // All lines share the same width.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+}
+
+TEST(Table, DoublePrecisionControl) {
+  Table t({"x"});
+  t.row().add(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.row().add("only-one");
+  std::ostringstream os;
+  t.print(os);  // must not crash; missing cells render empty
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(Logging, ThresholdFilters) {
+  const LogLevel original = log_threshold();
+  set_log_threshold(LogLevel::error);
+  // Below-threshold messages must not reach stderr; we can't easily capture
+  // std::cerr portably, but the API contract (get/set) is checkable.
+  EXPECT_EQ(log_threshold(), LogLevel::error);
+  set_log_threshold(LogLevel::debug);
+  EXPECT_EQ(log_threshold(), LogLevel::debug);
+  set_log_threshold(original);
+}
+
+TEST(Logging, LevelsOrdered) {
+  EXPECT_LT(static_cast<int>(LogLevel::debug), static_cast<int>(LogLevel::info));
+  EXPECT_LT(static_cast<int>(LogLevel::info), static_cast<int>(LogLevel::warn));
+  EXPECT_LT(static_cast<int>(LogLevel::warn), static_cast<int>(LogLevel::error));
+  EXPECT_LT(static_cast<int>(LogLevel::error), static_cast<int>(LogLevel::off));
+}
+
+}  // namespace
+}  // namespace dcl

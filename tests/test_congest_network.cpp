@@ -1,0 +1,235 @@
+#include "congest/congest_network.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include <map>
+
+#include "congest/engine.h"
+#include "graph/generators.h"
+
+namespace dcl {
+namespace {
+
+TEST(CongestNetwork, SingleMessageCostsOneRound) {
+  const Graph g = path_graph(3);
+  CongestNetwork net(g);
+  net.begin_phase("t");
+  net.send(0, 1, Message{.tag = 7});
+  EXPECT_EQ(net.end_phase(), 1);
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].from, 0);
+  EXPECT_EQ(net.inbox(1)[0].msg.tag, 7);
+  EXPECT_TRUE(net.inbox(0).empty());
+}
+
+TEST(CongestNetwork, CongestionIsPerDirectedEdge) {
+  const Graph g = path_graph(2);
+  CongestNetwork net(g);
+  net.begin_phase("t");
+  for (int i = 0; i < 5; ++i) net.send(0, 1, Message{.tag = i});
+  // Opposite direction does not add congestion.
+  for (int i = 0; i < 2; ++i) net.send(1, 0, Message{.tag = i});
+  EXPECT_EQ(net.end_phase(), 5);
+  EXPECT_EQ(net.inbox(1).size(), 5u);
+  EXPECT_EQ(net.inbox(0).size(), 2u);
+}
+
+TEST(CongestNetwork, ParallelEdgesDoNotInterfere) {
+  // A star: center sends one message per leaf — still one round.
+  const Graph g = star_graph(6);
+  CongestNetwork net(g);
+  net.begin_phase("t");
+  for (NodeId leaf = 1; leaf < 6; ++leaf) {
+    net.send(0, leaf, Message{.tag = leaf});
+  }
+  EXPECT_EQ(net.end_phase(), 1);
+}
+
+TEST(CongestNetwork, RejectsNonEdgeSend) {
+  const Graph g = path_graph(3);
+  CongestNetwork net(g);
+  net.begin_phase("t");
+  EXPECT_THROW(net.send(0, 2, Message{}), std::invalid_argument);
+  net.end_phase();
+}
+
+TEST(CongestNetwork, PhaseProtocolEnforced) {
+  const Graph g = path_graph(2);
+  CongestNetwork net(g);
+  EXPECT_THROW(net.send(0, 1, Message{}), std::logic_error);
+  EXPECT_THROW(net.end_phase(), std::logic_error);
+  net.begin_phase("a");
+  EXPECT_THROW(net.begin_phase("b"), std::logic_error);
+  net.end_phase();
+}
+
+TEST(CongestNetwork, EmptyPhaseIsFree) {
+  const Graph g = path_graph(2);
+  CongestNetwork net(g);
+  net.begin_phase("idle");
+  EXPECT_EQ(net.end_phase(), 0);
+  EXPECT_DOUBLE_EQ(net.ledger().total_rounds(), 0.0);
+}
+
+TEST(CongestNetwork, InboxOrderDeterministic) {
+  const Graph g = star_graph(5);
+  CongestNetwork net(g);
+  net.begin_phase("t");
+  // Leaves enqueue toward the hub in scrambled order.
+  net.send(4, 0, Message{.tag = 4});
+  net.send(1, 0, Message{.tag = 1});
+  net.send(3, 0, Message{.tag = 3});
+  net.send(2, 0, Message{.tag = 2});
+  net.end_phase();
+  const auto& inbox = net.inbox(0);
+  ASSERT_EQ(inbox.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(inbox[i].from, static_cast<NodeId>(i + 1));
+  }
+}
+
+TEST(CongestNetwork, LedgerAccumulatesPhases) {
+  const Graph g = path_graph(2);
+  CongestNetwork net(g);
+  net.begin_phase("a");
+  net.send(0, 1, Message{});
+  net.send(0, 1, Message{});
+  net.end_phase();
+  net.begin_phase("b");
+  net.send(1, 0, Message{});
+  net.end_phase();
+  EXPECT_DOUBLE_EQ(net.ledger().total_rounds(), 3.0);
+  EXPECT_EQ(net.ledger().total_messages(), 3u);
+  EXPECT_EQ(net.phase_count(), 2u);
+}
+
+// ---- Round-driven engine -------------------------------------------------
+
+/// Flood a token from node 0; each node records the round it first hears.
+class FloodProgram : public NodeProgram {
+ public:
+  explicit FloodProgram(NodeId self) : self_(self) {}
+  void on_start(RoundApi& api) override {
+    if (self_ == 0) {
+      heard_at_ = 0;
+      for (const NodeId w : api.graph().neighbors(self_)) {
+        api.send(w, Message{.tag = 1});
+      }
+    }
+  }
+  bool on_round(RoundApi& api, const std::vector<Delivery>& received) override {
+    if (heard_at_ < 0 && !received.empty()) {
+      heard_at_ = api.round() + 1;  // delivered at start of this round
+      for (const NodeId w : api.graph().neighbors(self_)) {
+        api.send(w, Message{.tag = 1});
+      }
+      return true;
+    }
+    return false;
+  }
+  std::int64_t heard_at() const { return heard_at_; }
+
+ private:
+  NodeId self_;
+  std::int64_t heard_at_ = -1;
+};
+
+TEST(CongestEngine, FloodReachesAllInEccentricityRounds) {
+  const Graph g = path_graph(6);
+  CongestEngine engine(g, [](NodeId v) {
+    return std::make_unique<FloodProgram>(v);
+  });
+  engine.run();
+  for (NodeId v = 0; v < 6; ++v) {
+    const auto& prog = static_cast<FloodProgram&>(engine.program(v));
+    EXPECT_EQ(prog.heard_at(), v) << "distance along the path";
+  }
+}
+
+/// A program that (illegally) sends two messages to the same neighbor.
+class DoubleSendProgram : public NodeProgram {
+ public:
+  bool on_round(RoundApi& api, const std::vector<Delivery>&) override {
+    if (api.self() == 0 && api.round() == 0) {
+      api.send(1, Message{});
+      api.send(1, Message{});  // must throw
+    }
+    return false;
+  }
+};
+
+TEST(CongestEngine, OneMessagePerNeighborPerRound) {
+  const Graph g = path_graph(2);
+  CongestEngine engine(g, [](NodeId) {
+    return std::make_unique<DoubleSendProgram>();
+  });
+  EXPECT_THROW(engine.run(), std::logic_error);
+}
+
+/// Sending to a non-neighbor must throw.
+class BadTargetProgram : public NodeProgram {
+ public:
+  bool on_round(RoundApi& api, const std::vector<Delivery>&) override {
+    if (api.self() == 0 && api.round() == 0) api.send(2, Message{});
+    return false;
+  }
+};
+
+TEST(CongestEngine, RejectsNonNeighborTarget) {
+  const Graph g = path_graph(3);
+  CongestEngine engine(g, [](NodeId) {
+    return std::make_unique<BadTargetProgram>();
+  });
+  EXPECT_THROW(engine.run(), std::invalid_argument);
+}
+
+TEST(CongestEngine, QuiescenceTerminates) {
+  const Graph g = cycle_graph(8);
+  CongestEngine engine(g, [](NodeId v) {
+    return std::make_unique<FloodProgram>(v);
+  });
+  const auto rounds = engine.run(1000);
+  EXPECT_LT(rounds, 10);  // eccentricity of C8 from node 0 is 4
+}
+
+
+/// Differential fuzz: the network's congestion accounting must equal a
+/// slow reference computation (per-directed-edge counters built
+/// independently) across random traffic patterns.
+TEST(CongestNetwork, CongestionMatchesReferenceOnRandomTraffic) {
+  Rng gen(77);
+  const Graph g = erdos_renyi_gnm(40, 200, gen);
+  for (int trial = 0; trial < 20; ++trial) {
+    CongestNetwork net(g);
+    net.begin_phase("fuzz");
+    std::map<std::pair<NodeId, NodeId>, std::int64_t> reference;
+    const int sends = 1 + static_cast<int>(gen.next_below(300));
+    for (int i = 0; i < sends; ++i) {
+      const auto e = static_cast<EdgeId>(gen.next_below(
+          static_cast<std::uint64_t>(g.edge_count())));
+      const Edge& ed = g.edge(e);
+      const bool forward = gen.next_bool(0.5);
+      const NodeId from = forward ? ed.u : ed.v;
+      const NodeId to = forward ? ed.v : ed.u;
+      net.send(from, to, Message{.tag = i});
+      ++reference[{from, to}];
+    }
+    std::int64_t expected = 0;
+    std::uint64_t expected_msgs = 0;
+    for (const auto& [key, load] : reference) {
+      expected = std::max(expected, load);
+      expected_msgs += static_cast<std::uint64_t>(load);
+    }
+    EXPECT_EQ(net.end_phase(), expected) << "trial " << trial;
+    std::uint64_t delivered = 0;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      delivered += net.inbox(v).size();
+    }
+    EXPECT_EQ(delivered, expected_msgs);
+  }
+}
+
+}  // namespace
+}  // namespace dcl

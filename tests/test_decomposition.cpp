@@ -1,0 +1,173 @@
+#include "expander/decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/math_util.h"
+#include "graph/generators.h"
+#include "graph/orientation.h"
+
+namespace dcl {
+namespace {
+
+/// Checks Definition 2.2 end to end: exhaustive edge labeling, the Er
+/// budget, the Es orientation witness, cluster min-degree and mixing.
+void expect_valid(const Graph& g, NodeId ambient_n,
+                  const DecompositionConfig& cfg,
+                  const ExpanderDecomposition& d) {
+  ASSERT_EQ(d.part.size(), static_cast<std::size_t>(g.edge_count()));
+  EXPECT_EQ(d.em_count + d.es_count + d.er_count, g.edge_count());
+  const auto errors = verify_decomposition(
+      g, ambient_n, cfg, d, polylog_mixing_bound(g.edge_count()));
+  EXPECT_TRUE(errors.empty()) << errors.front();
+}
+
+TEST(Decomposition, ErdosRenyiDense) {
+  Rng rng(1);
+  const Graph g = erdos_renyi_gnm(200, 6000, rng);
+  DecompositionConfig cfg;
+  cfg.delta = 0.5;
+  const auto d = expander_decompose(g, g.node_count(), cfg, rng);
+  expect_valid(g, g.node_count(), cfg, d);
+  // A dense ER graph is an expander: expect most edges in clusters.
+  EXPECT_GT(d.em_count, g.edge_count() / 2);
+}
+
+TEST(Decomposition, TreeGoesEntirelyToSparse) {
+  Rng rng(2);
+  const Graph g = path_graph(100);
+  DecompositionConfig cfg;
+  cfg.delta = 0.5;
+  const auto d = expander_decompose(g, g.node_count(), cfg, rng);
+  expect_valid(g, g.node_count(), cfg, d);
+  EXPECT_EQ(d.es_count, g.edge_count());
+  EXPECT_TRUE(d.clusters.empty());
+  EXPECT_EQ(d.er_count, 0);
+}
+
+TEST(Decomposition, SbmSeparatesBlocks) {
+  Rng rng(3);
+  const Graph g = stochastic_block_model({60, 60}, 0.6, 0.01, rng);
+  DecompositionConfig cfg;
+  cfg.delta = 0.55;
+  const auto d = expander_decompose(g, g.node_count(), cfg, rng);
+  expect_valid(g, g.node_count(), cfg, d);
+  // The two blocks should end up in clusters (either two clusters, or one
+  // if the sparse cross edges did not meet the cut threshold).
+  EXPECT_GE(d.clusters.size(), 1u);
+  std::int64_t clustered_nodes = 0;
+  for (const auto& c : d.clusters) {
+    clustered_nodes += static_cast<std::int64_t>(c.nodes.size());
+  }
+  EXPECT_GE(clustered_nodes, 100);
+}
+
+TEST(Decomposition, EmptyAndTinyGraphs) {
+  Rng rng(4);
+  DecompositionConfig cfg;
+  const Graph e = empty_graph(10);
+  const auto d = expander_decompose(e, 10, cfg, rng);
+  EXPECT_TRUE(d.clusters.empty());
+  const Graph single = path_graph(2);
+  const auto d2 = expander_decompose(single, 2, cfg, rng);
+  EXPECT_EQ(d2.es_count + d2.em_count + d2.er_count, 1);
+}
+
+TEST(Decomposition, AbsoluteDegreeOverride) {
+  Rng rng(5);
+  const Graph g = erdos_renyi_gnm(150, 3000, rng);
+  DecompositionConfig cfg;
+  cfg.absolute_degree = 10;
+  const auto d = expander_decompose(g, g.node_count(), cfg, rng);
+  expect_valid(g, g.node_count(), cfg, d);
+  for (const auto& c : d.clusters) {
+    EXPECT_GE(c.min_internal_degree, 5);  // degree_scale 0.5 * 10
+  }
+}
+
+TEST(Decomposition, ChargedRoundsFollowTheorem) {
+  Rng rng(6);
+  const Graph g = erdos_renyi_gnm(256, 4000, rng);
+  DecompositionConfig cfg;
+  cfg.absolute_degree = 16;
+  const auto d = expander_decompose(g, 256, cfg, rng);
+  // Õ(n^{1-δ}) with n^δ = 16: (256/16)·log2(256) = 128.
+  EXPECT_DOUBLE_EQ(d.charged_rounds, 128.0);
+}
+
+TEST(Decomposition, DefaultConductanceGuaranteesErBudget) {
+  // φ = 1/(12 log2(2m)+1) must keep |Er| ≤ |E|/6 across families; checked
+  // empirically here and by the analytic charging argument in the header.
+  EXPECT_LT(default_conductance_threshold(1000), 0.01);
+  EXPECT_GT(default_conductance_threshold(4), 0.01);
+}
+
+TEST(Decomposition, DeterministicUnderSeed) {
+  Rng rng_a(7), rng_b(7);
+  Rng gen(8);
+  const Graph g = erdos_renyi_gnm(100, 2000, gen);
+  DecompositionConfig cfg;
+  cfg.delta = 0.5;
+  const auto da = expander_decompose(g, 100, cfg, rng_a);
+  const auto db = expander_decompose(g, 100, cfg, rng_b);
+  ASSERT_EQ(da.part.size(), db.part.size());
+  for (std::size_t i = 0; i < da.part.size(); ++i) {
+    ASSERT_EQ(da.part[i], db.part[i]);
+  }
+  EXPECT_EQ(da.clusters.size(), db.clusters.size());
+}
+
+// Parameterized invariant sweep: every (family, n, δ) must satisfy
+// Definition 2.2.
+class DecompositionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(DecompositionSweep, InvariantsHold) {
+  const auto [family, n, delta] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(family * 1000 + n));
+  Graph g;
+  switch (family) {
+    case 0:
+      g = erdos_renyi_gnm(static_cast<NodeId>(n),
+                          static_cast<EdgeId>(8LL * n), rng);
+      break;
+    case 1:
+      g = stochastic_block_model(
+          {static_cast<NodeId>(n / 2), static_cast<NodeId>(n / 2)}, 0.4,
+          0.02, rng);
+      break;
+    case 2:
+      g = power_law_chung_lu(static_cast<NodeId>(n), 2.5, 10.0, rng);
+      break;
+    default:
+      g = random_regular(static_cast<NodeId>(n), 8, rng);
+  }
+  DecompositionConfig cfg;
+  cfg.delta = delta;
+  const auto d = expander_decompose(g, g.node_count(), cfg, rng);
+  expect_valid(g, g.node_count(), cfg, d);
+  // Er budget (Definition 2.2, third bullet).
+  EXPECT_LE(6 * d.er_count, g.edge_count());
+  // Edge labels are exhaustive and exclusive by construction; re-count.
+  std::int64_t em = 0, es = 0, er = 0;
+  for (const auto part : d.part) {
+    switch (part) {
+      case EdgePart::cluster: ++em; break;
+      case EdgePart::sparse: ++es; break;
+      case EdgePart::removed: ++er; break;
+    }
+  }
+  EXPECT_EQ(em, d.em_count);
+  EXPECT_EQ(es, d.es_count);
+  EXPECT_EQ(er, d.er_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, DecompositionSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(64, 128, 200),
+                       ::testing::Values(0.4, 0.55, 0.7)));
+
+}  // namespace
+}  // namespace dcl

@@ -1,0 +1,82 @@
+#include "core/detection.h"
+
+#include <gtest/gtest.h>
+
+#include "enumeration/clique_enumeration.h"
+#include "graph/generators.h"
+
+namespace dcl {
+namespace {
+
+TEST(Detection, FindsWitnessWhenPresent) {
+  Rng rng(1);
+  const auto planted = planted_clique(80, 6, 0.03, rng);
+  KpConfig cfg;
+  cfg.p = 6;
+  const auto result = detect_kp(planted.graph, cfg);
+  EXPECT_TRUE(result.found);
+  ASSERT_EQ(result.witness.size(), 6u);
+  EXPECT_TRUE(is_clique(planted.graph, result.witness));
+  EXPECT_GT(result.rounds, 0.0);
+}
+
+TEST(Detection, NegativeOnCliqueFreeGraphs) {
+  KpConfig cfg;
+  cfg.p = 3;
+  EXPECT_FALSE(detect_kp(complete_bipartite(12, 12), cfg).found);
+  cfg.p = 5;
+  EXPECT_FALSE(detect_kp(cycle_graph(30), cfg).found);
+}
+
+TEST(Detection, ThresholdSensitivity) {
+  // K5 contains K4 and K5 but no K6.
+  const Graph g = complete_graph(5);
+  for (const int p : {4, 5}) {
+    KpConfig cfg;
+    cfg.p = p;
+    EXPECT_TRUE(detect_kp(g, cfg).found) << p;
+  }
+  KpConfig cfg;
+  cfg.p = 6;
+  EXPECT_FALSE(detect_kp(g, cfg).found);
+}
+
+TEST(Counting, MatchesSequentialOracle) {
+  Rng rng(2);
+  const Graph g = erdos_renyi_gnm(90, 1200, rng);
+  for (const int p : {3, 4, 5}) {
+    KpConfig cfg;
+    cfg.p = p;
+    const auto result = count_kp_distributed(g, cfg);
+    EXPECT_EQ(result.count, count_k_cliques(g, p)) << "p=" << p;
+  }
+}
+
+TEST(Counting, AggregationChargedSeparately) {
+  Rng rng(3);
+  const Graph g = erdos_renyi_gnm(70, 500, rng);
+  KpConfig cfg;
+  cfg.p = 4;
+  const auto result = count_kp_distributed(g, cfg);
+  EXPECT_GT(result.aggregation_rounds, 0.0);
+  EXPECT_GT(result.rounds, result.aggregation_rounds);
+}
+
+TEST(Counting, DisconnectedGraph) {
+  const Graph g = disjoint_union(complete_graph(5), complete_graph(6));
+  KpConfig cfg;
+  cfg.p = 4;
+  const auto result = count_kp_distributed(g, cfg);
+  EXPECT_EQ(result.count, 5u + 15u);  // C(5,4) + C(6,4)
+}
+
+TEST(Counting, EmptyGraph) {
+  KpConfig cfg;
+  cfg.p = 4;
+  const auto result = count_kp_distributed(empty_graph(5), cfg);
+  EXPECT_EQ(result.count, 0u);
+  EXPECT_DOUBLE_EQ(result.aggregation_rounds, 0.0);
+}
+
+}  // namespace
+}  // namespace dcl

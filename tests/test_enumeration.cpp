@@ -1,0 +1,164 @@
+#include "enumeration/clique_enumeration.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/math_util.h"
+#include "graph/generators.h"
+
+namespace dcl {
+namespace {
+
+TEST(ListKCliques, CompleteGraphClosedForm) {
+  const Graph g = complete_graph(8);
+  for (int p = 1; p <= 8; ++p) {
+    EXPECT_EQ(count_k_cliques(g, p), binomial(8, static_cast<std::uint64_t>(p)))
+        << "p=" << p;
+  }
+  EXPECT_EQ(count_k_cliques(g, 9), 0u);
+}
+
+TEST(ListKCliques, BipartiteHasNoTriangles) {
+  const Graph g = complete_bipartite(5, 6);
+  EXPECT_EQ(count_k_cliques(g, 3), 0u);
+  EXPECT_EQ(count_k_cliques(g, 4), 0u);
+  EXPECT_EQ(count_k_cliques(g, 2), 30u);  // edges
+}
+
+TEST(ListKCliques, SmallPValues) {
+  const Graph g = path_graph(5);
+  EXPECT_EQ(count_k_cliques(g, 1), 5u);
+  EXPECT_EQ(count_k_cliques(g, 2), 4u);
+  EXPECT_EQ(count_k_cliques(g, 3), 0u);
+  EXPECT_THROW(count_k_cliques(g, 0), std::invalid_argument);
+}
+
+TEST(ListKCliques, CycleAndStar) {
+  EXPECT_EQ(count_k_cliques(cycle_graph(3), 3), 1u);
+  EXPECT_EQ(count_k_cliques(cycle_graph(6), 3), 0u);
+  EXPECT_EQ(count_k_cliques(star_graph(10), 3), 0u);
+}
+
+TEST(ListKCliques, PlantedCliqueIsFound) {
+  Rng rng(1);
+  const auto planted = planted_clique(70, 9, 0.03, rng);
+  const auto cliques = list_k_cliques(planted.graph, 9);
+  CliqueSet set{cliques};
+  EXPECT_TRUE(set.contains(planted.clique_nodes));
+}
+
+TEST(ListKCliques, ListedCliquesAreRealAndSorted) {
+  Rng rng(2);
+  const Graph g = erdos_renyi_gnm(50, 400, rng);
+  for (const auto& c : list_k_cliques(g, 4)) {
+    ASSERT_EQ(c.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(c.begin(), c.end()));
+    EXPECT_TRUE(is_clique(g, c));
+  }
+}
+
+TEST(ListKCliques, NoDuplicates) {
+  Rng rng(3);
+  const Graph g = erdos_renyi_gnm(60, 700, rng);
+  const auto cliques = list_k_cliques(g, 4);
+  CliqueSet set{cliques};
+  EXPECT_EQ(set.size(), cliques.size());
+}
+
+TEST(ListKCliques, DisjointUnionAddsCounts) {
+  const Graph g = disjoint_union(complete_graph(5), complete_graph(4));
+  EXPECT_EQ(count_k_cliques(g, 3), binomial(5, 3) + binomial(4, 3));
+  EXPECT_EQ(count_k_cliques(g, 4), binomial(5, 4) + 1u);
+  EXPECT_EQ(count_k_cliques(g, 5), 1u);
+}
+
+// Cross-check of the two independent counting implementations across a
+// parameter grid — the oracle-validates-oracle property sweep.
+class EnumerationCrossCheck
+    : public ::testing::TestWithParam<std::tuple<int, int, double, int>> {};
+
+TEST_P(EnumerationCrossCheck, DegeneracyDagMatchesNaive) {
+  const auto [n, p, density, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const Graph g = erdos_renyi_gnp(static_cast<NodeId>(n), density, rng);
+  const auto fast = count_k_cliques(g, p);
+  const auto naive = count_k_cliques_naive(g, p);
+  EXPECT_EQ(fast, naive);
+  EXPECT_EQ(list_k_cliques(g, p).size(), fast);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EnumerationCrossCheck,
+    ::testing::Combine(::testing::Values(20, 45, 70),
+                       ::testing::Values(3, 4, 5, 6),
+                       ::testing::Values(0.1, 0.3, 0.5),
+                       ::testing::Values(1, 2)));
+
+TEST(MaximalCliques, TriangleWithPendant) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  const auto maximal = maximal_cliques(g);
+  CliqueSet set{maximal};
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains({0, 1, 2}));
+  EXPECT_TRUE(set.contains({0, 3}));
+}
+
+TEST(MaximalCliques, CompleteGraphHasOne) {
+  const auto maximal = maximal_cliques(complete_graph(6));
+  ASSERT_EQ(maximal.size(), 1u);
+  EXPECT_EQ(maximal[0].size(), 6u);
+}
+
+TEST(MaximalCliques, CountMatchesMoonMoserOnSmallCases) {
+  // C(3,3,3) complete tripartite has 3^3 = 27 maximal cliques
+  // (Moon–Moser); build it directly.
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 9; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < 9; ++v) {
+      if (u / 3 != v / 3) edges.push_back({u, v});
+    }
+  }
+  const Graph g = Graph::from_edges(9, std::move(edges));
+  EXPECT_EQ(maximal_cliques(g).size(), 27u);
+}
+
+TEST(CliqueNumber, KnownValues) {
+  EXPECT_EQ(clique_number(complete_graph(7)), 7);
+  EXPECT_EQ(clique_number(complete_bipartite(4, 4)), 2);
+  EXPECT_EQ(clique_number(empty_graph(5)), 1);
+  EXPECT_EQ(clique_number(empty_graph(0)), 0);
+  Rng rng(5);
+  const auto planted = planted_clique(50, 10, 0.02, rng);
+  EXPECT_GE(clique_number(planted.graph), 10);
+}
+
+TEST(CliqueSetOps, InsertContainsDifference) {
+  CliqueSet a;
+  EXPECT_TRUE(a.insert({3, 1, 2}));
+  EXPECT_FALSE(a.insert({1, 2, 3}));  // same clique, different order
+  EXPECT_TRUE(a.contains({2, 3, 1}));
+  EXPECT_EQ(a.size(), 1u);
+
+  CliqueSet b;
+  b.insert({1, 2, 3});
+  b.insert({4, 5, 6});
+  const auto diff = b.difference(a);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0], (Clique{4, 5, 6}));
+  EXPECT_TRUE(a.difference(b).empty());
+  EXPECT_FALSE(a == b);
+}
+
+TEST(IsClique, RejectsRepeatsAndNonEdges) {
+  const Graph g = complete_graph(4);
+  EXPECT_TRUE(is_clique(g, std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_FALSE(is_clique(g, std::vector<NodeId>{0, 0, 1}));
+  const Graph h = path_graph(3);
+  EXPECT_FALSE(is_clique(h, std::vector<NodeId>{0, 1, 2}));
+  EXPECT_TRUE(is_clique(h, std::vector<NodeId>{0, 1}));
+  EXPECT_TRUE(is_clique(h, std::vector<NodeId>{}));
+}
+
+}  // namespace
+}  // namespace dcl

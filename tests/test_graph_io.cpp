@@ -1,0 +1,86 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+
+namespace dcl {
+namespace {
+
+TEST(GraphIo, RoundTrip) {
+  Rng rng(1);
+  const Graph g = erdos_renyi_gnm(50, 300, rng);
+  std::stringstream ss;
+  write_edge_list(g, ss);
+  const Graph back = read_edge_list(ss);
+  ASSERT_EQ(back.node_count(), g.node_count());
+  ASSERT_EQ(back.edge_count(), g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(back.edge(e), g.edge(e));
+  }
+}
+
+TEST(GraphIo, CommentsAndWhitespaceTolerated) {
+  std::stringstream ss;
+  ss << "# a comment line\n3 2\n# another\n0 1\n\n  1   2  \n";
+  const Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.node_count(), 3);
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(GraphIo, MalformedInputsThrow) {
+  {
+    std::stringstream ss;  // empty
+    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("3");  // missing edge count
+    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("3 2\n0 1");  // truncated edge list
+    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("abc 2\n");  // non-numeric
+    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("3 1\n0 7\n");  // endpoint out of range
+    EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("3 1\n1 1\n");  // self loop
+    EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("-1 0\n");  // negative node count
+    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+  }
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  Rng rng(2);
+  const Graph g = erdos_renyi_gnm(20, 60, rng);
+  const std::string path = "/tmp/dcl_test_graph.txt";
+  save_edge_list(g, path);
+  const Graph back = load_edge_list(path);
+  EXPECT_EQ(back.edge_count(), g.edge_count());
+  EXPECT_THROW(load_edge_list("/nonexistent/dir/file.txt"),
+               std::runtime_error);
+}
+
+TEST(GraphIo, EmptyGraphRoundTrip) {
+  std::stringstream ss;
+  write_edge_list(empty_graph(4), ss);
+  const Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.node_count(), 4);
+  EXPECT_EQ(g.edge_count(), 0);
+}
+
+}  // namespace
+}  // namespace dcl

@@ -1,0 +1,158 @@
+#include "core/in_cluster_listing.h"
+
+#include <gtest/gtest.h>
+
+#include "enumeration/clique_enumeration.h"
+#include "graph/generators.h"
+#include "graph/orientation.h"
+#include "routing/cluster_router.h"
+
+namespace dcl {
+namespace {
+
+/// Builds the canonical problem: cluster = all nodes of `g`, every edge
+/// known and grouped at its responsibility holder by degeneracy tail.
+struct Scenario {
+  Graph g;
+  Cluster cluster;
+  std::vector<std::vector<KnownEdge>> holders;
+  std::vector<bool> goal;
+
+  explicit Scenario(Graph graph) : g(std::move(graph)) {
+    cluster.id = 0;
+    for (NodeId v = 0; v < g.node_count(); ++v) cluster.nodes.push_back(v);
+    cluster.min_internal_degree = 1;
+    const auto k = static_cast<NodeId>(cluster.nodes.size());
+    holders.resize(static_cast<std::size_t>(k));
+    const Orientation o = degeneracy_orientation(g);
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const NodeId tail = o.tail(e);
+      const NodeId idx = responsible_cluster_index(tail, g.node_count(), k);
+      holders[static_cast<std::size_t>(idx)].push_back(
+          KnownEdge{tail, o.head(e)});
+    }
+    goal.assign(static_cast<std::size_t>(g.edge_count()), true);
+  }
+
+  InClusterProblem problem(int p, InClusterChargeMode mode =
+                                      InClusterChargeMode::measured) const {
+    InClusterProblem pr;
+    pr.base = &g;
+    pr.cluster = &cluster;
+    pr.edges_by_holder = &holders;
+    pr.goal_edge = &goal;
+    pr.p = p;
+    pr.charge_mode = mode;
+    return pr;
+  }
+};
+
+TEST(InClusterListing, ListsAllCliquesOfCompleteGraph) {
+  Scenario s(complete_graph(8));
+  for (const int p : {3, 4, 5}) {
+    Rng rng(1);
+    ListingOutput out(s.g.node_count());
+    const auto cost = in_cluster_list(s.problem(p), rng, out);
+    EXPECT_TRUE(out.cliques() == CliqueSet(list_k_cliques(s.g, p)))
+        << "p=" << p;
+    EXPECT_GT(cost.parts, 0);
+  }
+}
+
+TEST(InClusterListing, ListsAllCliquesOfRandomGraph) {
+  Rng gen(2);
+  Scenario s(erdos_renyi_gnm(40, 350, gen));
+  Rng rng(3);
+  ListingOutput out(s.g.node_count());
+  in_cluster_list(s.problem(4), rng, out);
+  EXPECT_TRUE(out.cliques() == CliqueSet(list_k_cliques(s.g, 4)));
+}
+
+TEST(InClusterListing, GoalEdgeFilterRestrictsOutput) {
+  Scenario s(complete_graph(6));
+  std::fill(s.goal.begin(), s.goal.end(), false);
+  s.goal[static_cast<std::size_t>(*s.g.edge_id(0, 1))] = true;
+  Rng rng(4);
+  ListingOutput out(s.g.node_count());
+  in_cluster_list(s.problem(3), rng, out);
+  // Only triangles through {0,1}: the other C(4,1) = 4 completions.
+  EXPECT_EQ(out.unique_count(), 4u);
+  for (const auto& c : out.cliques().to_vector()) {
+    EXPECT_EQ(c[0], 0);
+    EXPECT_EQ(c[1], 1);
+  }
+}
+
+TEST(InClusterListing, NoGoalEdgesNoOutput) {
+  Scenario s(complete_graph(6));
+  std::fill(s.goal.begin(), s.goal.end(), false);
+  Rng rng(5);
+  ListingOutput out(s.g.node_count());
+  const auto cost = in_cluster_list(s.problem(3), rng, out);
+  EXPECT_EQ(out.unique_count(), 0u);
+  // Edges still flowed (the cluster cannot know in advance they are all
+  // non-goal): loads are positive.
+  EXPECT_GT(cost.max_recv, 0);
+}
+
+TEST(InClusterListing, WorstCaseChargeDominatesMeasured) {
+  Rng gen(6);
+  Scenario s(erdos_renyi_gnm(30, 120, gen));
+  Rng rng_a(7), rng_b(7);
+  ListingOutput out_a(s.g.node_count()), out_b(s.g.node_count());
+  const auto measured = in_cluster_list(
+      s.problem(3, InClusterChargeMode::measured), rng_a, out_a);
+  const auto worst = in_cluster_list(
+      s.problem(3, InClusterChargeMode::worst_case), rng_b, out_b);
+  EXPECT_GE(worst.max_recv, measured.max_recv);
+  EXPECT_GE(worst.max_send, measured.max_send);
+  // The charge mode must not change what gets listed.
+  EXPECT_TRUE(out_a.cliques() == out_b.cliques());
+}
+
+TEST(InClusterListing, SendLoadsReflectCoverCounts) {
+  Scenario s(complete_graph(16));  // k=16, p=4 -> q=2
+  Rng rng(8);
+  ListingOutput out(s.g.node_count());
+  const auto cost = in_cluster_list(s.problem(4), rng, out);
+  EXPECT_EQ(cost.parts, 2);
+  // With q=2 every edge goes to many of the 16 nodes; send load is at
+  // least the number of edges a holder owns.
+  EXPECT_GT(cost.max_send, 0);
+  EXPECT_GT(cost.messages, static_cast<std::uint64_t>(s.g.edge_count()));
+}
+
+TEST(InClusterListing, SingletonPartDegeneratesGracefully) {
+  // k < 2^p forces q = 1: everything lands in one bucket, one
+  // representative lists everything.
+  Scenario s(complete_graph(5));
+  Rng rng(9);
+  ListingOutput out(s.g.node_count());
+  const auto cost = in_cluster_list(s.problem(4), rng, out);
+  EXPECT_EQ(cost.parts, 1);
+  EXPECT_TRUE(out.cliques() == CliqueSet(list_k_cliques(s.g, 4)));
+}
+
+TEST(InClusterListing, ReportersAreClusterMembers) {
+  Scenario s(complete_graph(9));
+  Rng rng(10);
+  ListingOutput out(s.g.node_count());
+  in_cluster_list(s.problem(3), rng, out);
+  std::uint64_t reporters = 0;
+  for (NodeId v = 0; v < s.g.node_count(); ++v) {
+    reporters += out.reports_of(v);
+  }
+  EXPECT_EQ(reporters, out.total_reports());
+  EXPECT_GT(out.total_reports(), 0u);
+}
+
+TEST(InClusterListing, HolderCountMismatchThrows) {
+  Scenario s(complete_graph(4));
+  s.holders.pop_back();
+  Rng rng(11);
+  ListingOutput out(s.g.node_count());
+  EXPECT_THROW(in_cluster_list(s.problem(3), rng, out), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcl

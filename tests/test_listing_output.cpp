@@ -1,0 +1,50 @@
+#include "core/listing_types.h"
+
+#include <gtest/gtest.h>
+
+namespace dcl {
+namespace {
+
+TEST(ListingOutput, CountsAndDeduplicates) {
+  ListingOutput out(5);
+  const NodeId c1[] = {0, 1, 2};
+  const NodeId c1_scrambled[] = {2, 0, 1};
+  const NodeId c2[] = {1, 2, 3};
+  out.report(0, c1);
+  out.report(4, c1_scrambled);  // same clique from another node
+  out.report(1, c2);
+  EXPECT_EQ(out.unique_count(), 2u);
+  EXPECT_EQ(out.total_reports(), 3u);
+  EXPECT_DOUBLE_EQ(out.duplication_factor(), 1.5);
+  EXPECT_EQ(out.reports_of(0), 1u);
+  EXPECT_EQ(out.reports_of(4), 1u);
+  EXPECT_EQ(out.reports_of(2), 0u);
+  EXPECT_EQ(out.max_reports_per_node(), 1u);
+}
+
+TEST(ListingOutput, EmptyHasZeroDuplication) {
+  ListingOutput out(3);
+  EXPECT_DOUBLE_EQ(out.duplication_factor(), 0.0);
+  EXPECT_EQ(out.unique_count(), 0u);
+  EXPECT_EQ(out.max_reports_per_node(), 0u);
+}
+
+TEST(ListingOutput, CliquesAccessible) {
+  ListingOutput out(4);
+  const NodeId c[] = {3, 1, 0};
+  out.report(2, c);
+  EXPECT_TRUE(out.cliques().contains({0, 1, 3}));
+  EXPECT_FALSE(out.cliques().contains({0, 1, 2}));
+}
+
+TEST(KpConfigDefaults, MatchPaperStructure) {
+  const KpConfig cfg;
+  EXPECT_EQ(cfg.p, 4);
+  EXPECT_FALSE(cfg.k4_fast);
+  EXPECT_TRUE(cfg.enable_bad_edges);
+  EXPECT_EQ(cfg.in_cluster_charge, InClusterChargeMode::measured);
+  EXPECT_LT(cfg.stop_exponent_override, 0.0);  // derive from p by default
+}
+
+}  // namespace
+}  // namespace dcl

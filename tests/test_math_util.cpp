@@ -1,0 +1,125 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dcl {
+namespace {
+
+TEST(CeilDiv, ExactAndInexact) {
+  EXPECT_EQ(ceil_div(10, 5), 2);
+  EXPECT_EQ(ceil_div(11, 5), 3);
+  EXPECT_EQ(ceil_div(0, 7), 0);
+  EXPECT_EQ(ceil_div(1, 1), 1);
+  EXPECT_EQ(ceil_div(999, 1000), 1);
+}
+
+TEST(ILog2, PowersAndBetween) {
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(3), 1);
+  EXPECT_EQ(ilog2(4), 2);
+  EXPECT_EQ(ilog2(1023), 9);
+  EXPECT_EQ(ilog2(1024), 10);
+}
+
+TEST(CeilLog2, PowersAndBetween) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(IPow, SmallCases) {
+  EXPECT_EQ(ipow(2, 10), 1024);
+  EXPECT_EQ(ipow(3, 0), 1);
+  EXPECT_EQ(ipow(5, 3), 125);
+  EXPECT_EQ(ipow(1, 100), 1);
+}
+
+TEST(CeilPow, ExactPowersAreNotOvershot) {
+  // ceil(8^(1/3)) must be 2, not 3, despite floating error.
+  EXPECT_EQ(ceil_pow(8, 1.0 / 3.0), 2);
+  EXPECT_EQ(ceil_pow(27, 1.0 / 3.0), 3);
+  EXPECT_EQ(ceil_pow(1024, 0.5), 32);
+  EXPECT_EQ(ceil_pow(1000, 1.0), 1000);
+  EXPECT_EQ(ceil_pow(0, 0.5), 0);
+}
+
+TEST(FloorPow, ExactAndBetween) {
+  EXPECT_EQ(floor_pow(8, 1.0 / 3.0), 2);
+  EXPECT_EQ(floor_pow(9, 0.5), 3);
+  EXPECT_EQ(floor_pow(10, 0.5), 3);
+  EXPECT_EQ(floor_pow(1024, 0.75), 181);
+}
+
+TEST(RadixDigits, RoundTrip) {
+  const auto d = radix_digits(123, 5, 4);
+  ASSERT_EQ(d.size(), 4u);
+  // 123 = 3 + 4*5 + 4*25 + 0*125.
+  EXPECT_EQ(d[0], 3);
+  EXPECT_EQ(d[1], 4);
+  EXPECT_EQ(d[2], 4);
+  EXPECT_EQ(d[3], 0);
+  std::int64_t rebuilt = 0;
+  for (int i = 3; i >= 0; --i) rebuilt = rebuilt * 5 + d[static_cast<std::size_t>(i)];
+  EXPECT_EQ(rebuilt, 123);
+}
+
+TEST(RadixDigits, AllTuplesDistinct) {
+  // The k^{1/p}-radix assignment must be a bijection [q^p] -> tuples.
+  const int q = 3, p = 3;
+  std::set<std::vector<int>> seen;
+  for (std::int64_t v = 0; v < ipow(q, p); ++v) {
+    seen.insert(radix_digits(v, q, p));
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(ipow(q, p)));
+}
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(10, 3), 120u);
+  EXPECT_EQ(binomial(4, 0), 1u);
+  EXPECT_EQ(binomial(4, 4), 1u);
+  EXPECT_EQ(binomial(3, 5), 0u);
+  EXPECT_EQ(binomial(52, 5), 2598960u);
+}
+
+TEST(FitLine, PerfectLine) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {3, 5, 7, 9, 11};
+  const auto fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(FitLine, DegenerateInputs) {
+  EXPECT_EQ(fit_line({}, {}).slope, 0.0);
+  EXPECT_EQ(fit_line({1.0}, {2.0}).slope, 0.0);
+  // Vertical data (all x equal) must not divide by zero.
+  EXPECT_EQ(fit_line({2.0, 2.0}, {1.0, 5.0}).slope, 0.0);
+}
+
+TEST(FitPowerLaw, RecoversExponent) {
+  std::vector<double> n, rounds;
+  for (double v : {128.0, 256.0, 512.0, 1024.0, 2048.0}) {
+    n.push_back(v);
+    rounds.push_back(3.7 * std::pow(v, 0.75));
+  }
+  const auto fit = fit_power_law(n, rounds);
+  EXPECT_NEAR(fit.slope, 0.75, 1e-6);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(FitPowerLaw, IgnoresNonPositivePoints) {
+  const auto fit = fit_power_law({0.0, 10.0, 100.0}, {5.0, 10.0, 100.0});
+  EXPECT_NEAR(fit.slope, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dcl

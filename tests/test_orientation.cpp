@@ -1,0 +1,146 @@
+#include "graph/orientation.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/generators.h"
+
+namespace dcl {
+namespace {
+
+TEST(DegeneracyOrder, KnownValues) {
+  EXPECT_EQ(degeneracy_order(complete_graph(6)).degeneracy, 5);
+  EXPECT_EQ(degeneracy_order(path_graph(10)).degeneracy, 1);
+  EXPECT_EQ(degeneracy_order(cycle_graph(10)).degeneracy, 2);
+  EXPECT_EQ(degeneracy_order(star_graph(10)).degeneracy, 1);
+  EXPECT_EQ(degeneracy_order(empty_graph(5)).degeneracy, 0);
+  EXPECT_EQ(degeneracy_order(complete_bipartite(3, 7)).degeneracy, 3);
+}
+
+TEST(DegeneracyOrder, IsAPermutation) {
+  Rng rng(1);
+  const Graph g = erdos_renyi_gnm(80, 600, rng);
+  const auto dec = degeneracy_order(g);
+  ASSERT_EQ(dec.order.size(), 80u);
+  std::vector<bool> seen(80, false);
+  for (const NodeId v : dec.order) {
+    ASSERT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+TEST(DegeneracyOrder, EveryNodeHasFewLaterNeighbors) {
+  // The defining property: each node has at most `degeneracy` neighbors
+  // later in the order.
+  Rng rng(2);
+  const Graph g = erdos_renyi_gnm(100, 900, rng);
+  const auto dec = degeneracy_order(g);
+  std::vector<NodeId> rank(100);
+  for (std::size_t i = 0; i < dec.order.size(); ++i) {
+    rank[static_cast<std::size_t>(dec.order[i])] = static_cast<NodeId>(i);
+  }
+  for (NodeId v = 0; v < 100; ++v) {
+    NodeId later = 0;
+    for (const NodeId w : g.neighbors(v)) {
+      if (rank[static_cast<std::size_t>(w)] > rank[static_cast<std::size_t>(v)]) {
+        ++later;
+      }
+    }
+    EXPECT_LE(later, dec.degeneracy);
+  }
+}
+
+TEST(DegeneracyOrder, CoreNumbersMonotone) {
+  Rng rng(3);
+  const Graph g = erdos_renyi_gnm(60, 300, rng);
+  const auto dec = degeneracy_order(g);
+  // Core numbers along the peeling order never decrease.
+  NodeId prev = 0;
+  for (const NodeId v : dec.order) {
+    EXPECT_GE(dec.core_number[static_cast<std::size_t>(v)], prev);
+    prev = dec.core_number[static_cast<std::size_t>(v)];
+  }
+  EXPECT_EQ(prev, dec.degeneracy);
+}
+
+TEST(Orientation, DegeneracyOrientationBoundsOutDegree) {
+  Rng rng(4);
+  const Graph g = erdos_renyi_gnm(120, 1500, rng);
+  const auto dec = degeneracy_order(g);
+  const Orientation o = degeneracy_orientation(g);
+  EXPECT_LE(o.max_out_degree(), dec.degeneracy);
+}
+
+TEST(Orientation, TailHeadConsistent) {
+  const Graph g = complete_graph(5);
+  const Orientation o = degeneracy_orientation(g);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& ed = g.edge(e);
+    const NodeId t = o.tail(e), h = o.head(e);
+    EXPECT_NE(t, h);
+    EXPECT_TRUE((t == ed.u && h == ed.v) || (t == ed.v && h == ed.u));
+  }
+}
+
+TEST(Orientation, OutCsrMatchesTails) {
+  Rng rng(5);
+  const Graph g = erdos_renyi_gnm(50, 300, rng);
+  const Orientation o = degeneracy_orientation(g);
+  std::int64_t total = 0;
+  for (NodeId v = 0; v < 50; ++v) {
+    const auto heads = o.out_neighbors(v);
+    const auto eids = o.out_edges(v);
+    ASSERT_EQ(heads.size(), eids.size());
+    total += static_cast<std::int64_t>(heads.size());
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      EXPECT_EQ(o.tail(eids[i]), v);
+      EXPECT_EQ(o.head(eids[i]), heads[i]);
+    }
+  }
+  EXPECT_EQ(total, g.edge_count());  // every edge has exactly one tail
+}
+
+TEST(Orientation, FromDirectionsRoundTrip) {
+  const Graph g = path_graph(4);
+  std::vector<bool> away = {true, false, true};
+  const Orientation o = Orientation::from_directions(g, away);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(o.away_from_lower(e), static_cast<bool>(away[static_cast<std::size_t>(e)]));
+  }
+}
+
+TEST(Orientation, FromOrderValidation) {
+  const Graph g = path_graph(3);
+  const std::vector<NodeId> bad_size = {0, 1};
+  EXPECT_THROW(Orientation::from_order(g, bad_size), std::invalid_argument);
+  const std::vector<NodeId> not_perm = {0, 0, 2};
+  EXPECT_THROW(Orientation::from_order(g, not_perm), std::invalid_argument);
+  const std::vector<NodeId> ok = {2, 0, 1};
+  const Orientation o = Orientation::from_order(g, ok);
+  // Edge {0,1}: 0 is later than 1? order = [2,0,1], rank(0)=1 < rank(1)=2,
+  // so 0 -> 1.
+  EXPECT_EQ(o.tail(*g.edge_id(0, 1)), 0);
+  // Edge {1,2}: rank(2)=0 < rank(1)=2, so 2 -> 1.
+  EXPECT_EQ(o.tail(*g.edge_id(1, 2)), 2);
+}
+
+TEST(Orientation, AcyclicFromOrder) {
+  // Orientations from an order are acyclic: follow out-edges, ranks only
+  // increase.
+  Rng rng(6);
+  const Graph g = erdos_renyi_gnm(40, 200, rng);
+  const auto dec = degeneracy_order(g);
+  const Orientation o = Orientation::from_order(g, dec.order);
+  std::vector<NodeId> rank(40);
+  for (std::size_t i = 0; i < dec.order.size(); ++i) {
+    rank[static_cast<std::size_t>(dec.order[i])] = static_cast<NodeId>(i);
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_LT(rank[static_cast<std::size_t>(o.tail(e))],
+              rank[static_cast<std::size_t>(o.head(e))]);
+  }
+}
+
+}  // namespace
+}  // namespace dcl

@@ -1,0 +1,104 @@
+#include "congest/primitives.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace dcl {
+namespace {
+
+TEST(BfsTree, PathDistances) {
+  const Graph g = path_graph(7);
+  const auto tree = build_bfs_tree(g, 0);
+  for (NodeId v = 0; v < 7; ++v) {
+    EXPECT_EQ(tree.depth[static_cast<std::size_t>(v)], v);
+    EXPECT_EQ(tree.parent[static_cast<std::size_t>(v)],
+              v == 0 ? -1 : v - 1);
+  }
+  // Flood completes within eccentricity + O(1) rounds.
+  EXPECT_LE(tree.rounds, 9);
+}
+
+TEST(BfsTree, DistancesMatchCentralBfsOnRandomGraph) {
+  Rng rng(1);
+  const Graph g = erdos_renyi_gnm(80, 300, rng);
+  const auto tree = build_bfs_tree(g, 5);
+  // Central BFS reference.
+  std::vector<int> dist(80, -1);
+  std::vector<NodeId> queue = {5};
+  dist[5] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    for (const NodeId w : g.neighbors(queue[head])) {
+      if (dist[static_cast<std::size_t>(w)] == -1) {
+        dist[static_cast<std::size_t>(w)] =
+            dist[static_cast<std::size_t>(queue[head])] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  for (NodeId v = 0; v < 80; ++v) {
+    EXPECT_EQ(tree.depth[static_cast<std::size_t>(v)],
+              dist[static_cast<std::size_t>(v)])
+        << "node " << v;
+  }
+}
+
+TEST(BfsTree, ParentPointersFormTree) {
+  Rng rng(2);
+  const Graph g = erdos_renyi_gnm(60, 250, rng);
+  const auto tree = build_bfs_tree(g, 0);
+  for (NodeId v = 1; v < 60; ++v) {
+    if (tree.depth[static_cast<std::size_t>(v)] < 0) continue;
+    const NodeId p = tree.parent[static_cast<std::size_t>(v)];
+    ASSERT_GE(p, 0);
+    EXPECT_TRUE(g.has_edge(v, p));
+    EXPECT_EQ(tree.depth[static_cast<std::size_t>(p)],
+              tree.depth[static_cast<std::size_t>(v)] - 1);
+  }
+}
+
+TEST(BfsTree, DisconnectedNodesUnreached) {
+  const Graph g = disjoint_union(path_graph(4), path_graph(3));
+  const auto tree = build_bfs_tree(g, 0);
+  for (NodeId v = 4; v < 7; ++v) {
+    EXPECT_EQ(tree.depth[static_cast<std::size_t>(v)], -1);
+    EXPECT_EQ(tree.parent[static_cast<std::size_t>(v)], -1);
+  }
+}
+
+TEST(Broadcast, ReachesExactlyTheComponent) {
+  const Graph g = disjoint_union(cycle_graph(5), complete_graph(4));
+  const auto result = broadcast_value(g, 1, 42);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_TRUE(result.received[static_cast<std::size_t>(v)]);
+  }
+  for (NodeId v = 5; v < 9; ++v) {
+    EXPECT_FALSE(result.received[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(Convergecast, SumsComponentValues) {
+  const Graph g = star_graph(6);
+  std::vector<std::int64_t> values = {10, 1, 2, 3, 4, 5};
+  const auto result = convergecast_sum(g, 0, values);
+  EXPECT_EQ(result.sum, 25);
+  EXPECT_LE(result.rounds, 6);  // star: depth 1
+}
+
+TEST(Convergecast, DeepTreeSum) {
+  const Graph g = path_graph(10);
+  std::vector<std::int64_t> values(10, 1);
+  const auto result = convergecast_sum(g, 0, values);
+  EXPECT_EQ(result.sum, 10);
+  EXPECT_GE(result.rounds, 9);  // at least eccentricity
+}
+
+TEST(Convergecast, IgnoresOtherComponents) {
+  const Graph g = disjoint_union(path_graph(3), path_graph(3));
+  std::vector<std::int64_t> values = {1, 1, 1, 100, 100, 100};
+  const auto result = convergecast_sum(g, 0, values);
+  EXPECT_EQ(result.sum, 3);
+}
+
+}  // namespace
+}  // namespace dcl

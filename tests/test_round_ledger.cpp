@@ -1,0 +1,68 @@
+#include "congest/round_ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dcl {
+namespace {
+
+TEST(RoundLedger, TotalsAcrossKinds) {
+  RoundLedger ledger;
+  ledger.charge_exchange("phase-a", 10.0, 100);
+  ledger.charge_routing("route-b", 5.5, 50);
+  ledger.charge_analytic("decomp", 20.0);
+  EXPECT_DOUBLE_EQ(ledger.total_rounds(), 35.5);
+  EXPECT_EQ(ledger.total_messages(), 150u);
+  EXPECT_DOUBLE_EQ(ledger.rounds_of_kind(CostKind::exchange), 10.0);
+  EXPECT_DOUBLE_EQ(ledger.rounds_of_kind(CostKind::routing), 5.5);
+  EXPECT_DOUBLE_EQ(ledger.rounds_of_kind(CostKind::analytic), 20.0);
+}
+
+TEST(RoundLedger, ByLabelAggregates) {
+  RoundLedger ledger;
+  ledger.charge_exchange("x", 1.0, 1);
+  ledger.charge_exchange("x", 2.0, 1);
+  ledger.charge_exchange("y", 4.0, 1);
+  const auto by_label = ledger.rounds_by_label();
+  EXPECT_DOUBLE_EQ(by_label.at("x"), 3.0);
+  EXPECT_DOUBLE_EQ(by_label.at("y"), 4.0);
+}
+
+TEST(RoundLedger, MergeAppends) {
+  RoundLedger a, b;
+  a.charge_exchange("x", 1.0, 5);
+  b.charge_routing("y", 2.0, 7);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.total_rounds(), 3.0);
+  EXPECT_EQ(a.total_messages(), 12u);
+  EXPECT_EQ(a.entries().size(), 2u);
+}
+
+TEST(RoundLedger, EmptyLedger) {
+  RoundLedger ledger;
+  EXPECT_DOUBLE_EQ(ledger.total_rounds(), 0.0);
+  EXPECT_EQ(ledger.total_messages(), 0u);
+  EXPECT_TRUE(ledger.rounds_by_label().empty());
+}
+
+TEST(RoundLedger, PrintBreakdownContainsLabels) {
+  RoundLedger ledger;
+  ledger.charge_exchange("alpha-phase", 3.0, 9);
+  ledger.charge_analytic("beta-charge", 4.0);
+  std::ostringstream os;
+  ledger.print_breakdown(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("alpha-phase"), std::string::npos);
+  EXPECT_NE(text.find("beta-charge"), std::string::npos);
+  EXPECT_NE(text.find("total=7.0"), std::string::npos);
+}
+
+TEST(CostKindNames, AllDistinct) {
+  EXPECT_STREQ(to_string(CostKind::exchange), "exchange");
+  EXPECT_STREQ(to_string(CostKind::routing), "routing");
+  EXPECT_STREQ(to_string(CostKind::analytic), "analytic");
+}
+
+}  // namespace
+}  // namespace dcl
