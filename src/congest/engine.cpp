@@ -12,7 +12,6 @@ void RoundApi::send(NodeId to, const Message& msg) {
     throw std::invalid_argument("RoundApi: send to non-neighbor");
   }
   const auto pos = static_cast<std::size_t>(it - nbrs.begin());
-  if (sent_to_.size() != nbrs.size()) sent_to_.assign(nbrs.size(), false);
   if (sent_to_[pos]) {
     throw std::logic_error(
         "RoundApi: CONGEST allows one message per neighbor per round");

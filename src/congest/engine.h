@@ -21,7 +21,10 @@ namespace dcl {
 
 class RoundApi {
  public:
-  RoundApi(NodeId self, const Graph& g) : self_(self), g_(&g) {}
+  RoundApi(NodeId self, const Graph& g)
+      : self_(self),
+        g_(&g),
+        sent_to_(g.neighbors(self).size(), false) {}
 
   NodeId self() const { return self_; }
   const Graph& graph() const { return *g_; }
@@ -37,7 +40,12 @@ class RoundApi {
   const Graph* g_;
   std::int64_t round_ = 0;
   std::vector<std::pair<NodeId, Message>> outgoing_;
-  std::vector<bool> sent_to_;  // indexed by neighbor position
+  // Send-once bookkeeping, indexed by neighbor position. Sized once at
+  // construction (neighbor sets are immutable) and reset by the engine when
+  // it collects the outgoing queue at the top of every round; `send` must
+  // never resize it, or a mis-sized vector would silently erase the
+  // round's send-once state.
+  std::vector<bool> sent_to_;
 };
 
 /// Per-node algorithm. One instance per node; the engine owns them.

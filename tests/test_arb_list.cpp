@@ -5,6 +5,7 @@
 #include "enumeration/clique_enumeration.h"
 #include "graph/generators.h"
 #include "graph/orientation.h"
+#include "test_util.h"
 
 namespace dcl {
 namespace {
@@ -59,6 +60,7 @@ struct ArbHarness {
 /// one removed (goal) edge is listed; listed cliques are real.
 void expect_goal_coverage(const ArbHarness& h, const ListingOutput& out,
                           int p) {
+  expect_ledger_valid(h.ledger);
   const auto removed = h.removed_mask();
   const auto truth = list_k_cliques(h.g, p);
   std::size_t expected = 0;

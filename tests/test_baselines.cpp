@@ -5,6 +5,7 @@
 #include "core/kp_lister.h"
 #include "enumeration/clique_enumeration.h"
 #include "graph/generators.h"
+#include "test_util.h"
 
 namespace dcl {
 namespace {
@@ -18,6 +19,7 @@ TEST(TrivialBroadcast, ExactAndCostsDelta) {
     EXPECT_TRUE(out.cliques() == CliqueSet(list_k_cliques(g, p))) << p;
     EXPECT_DOUBLE_EQ(result.total_rounds(),
                      static_cast<double>(g.max_degree()));
+    expect_ledger_valid(result.ledger);
   }
 }
 
@@ -29,6 +31,7 @@ TEST(ObliviousCc, ExactListing) {
     const auto result = oblivious_cc_list(g, p, out);
     EXPECT_TRUE(out.cliques() == CliqueSet(list_k_cliques(g, p))) << p;
     EXPECT_GT(result.total_rounds(), 0.0);
+    expect_ledger_valid(result.ledger);
   }
 }
 

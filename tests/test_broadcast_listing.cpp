@@ -6,6 +6,7 @@
 #include "enumeration/clique_enumeration.h"
 #include "graph/generators.h"
 #include "graph/orientation.h"
+#include "test_util.h"
 
 namespace dcl {
 namespace {
@@ -65,6 +66,7 @@ TEST(BroadcastListing, ListsExactlyAllCliques) {
     args.mode = BroadcastMode::out_edges;
     broadcast_listing(args, ledger, out);
     EXPECT_TRUE(out.cliques() == CliqueSet(list_k_cliques(g, p))) << "p=" << p;
+    expect_ledger_valid(ledger);
   }
 }
 

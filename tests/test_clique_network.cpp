@@ -4,6 +4,8 @@
 
 #include <stdexcept>
 
+#include "test_util.h"
+
 namespace dcl {
 namespace {
 
@@ -15,6 +17,7 @@ TEST(CliqueNetwork, DirectModeCountsPerPair) {
   EXPECT_EQ(net.end_phase(), 3);
   EXPECT_EQ(net.inbox(1).size(), 3u);
   EXPECT_EQ(net.inbox(3).size(), 1u);
+  expect_ledger_valid(net.ledger());
 }
 
 TEST(CliqueNetwork, DirectModeOppositeDirectionsIndependent) {

@@ -185,6 +185,47 @@ TEST(CongestEngine, RejectsNonNeighborTarget) {
   EXPECT_THROW(engine.run(), std::invalid_argument);
 }
 
+/// Sends one message to the same neighbor every round for `kRounds` rounds.
+/// Legal under CONGEST: the send-once bookkeeping must be reset per round,
+/// not accumulate across rounds (regression test for `sent_to_` handling).
+class RepeatSendProgram : public NodeProgram {
+ public:
+  static constexpr int kRounds = 5;
+  bool on_round(RoundApi& api, const std::vector<Delivery>& received) override {
+    if (api.self() == 0 && api.round() < kRounds) {
+      api.send(1, Message{.tag = static_cast<int>(api.round())});
+      return true;
+    }
+    if (api.self() == 1) received_ += static_cast<int>(received.size());
+    return false;
+  }
+  int received() const { return received_; }
+
+ private:
+  int received_ = 0;
+};
+
+TEST(CongestEngine, SendOnceResetsEveryRound) {
+  const Graph g = path_graph(2);
+  CongestEngine engine(g, [](NodeId) {
+    return std::make_unique<RepeatSendProgram>();
+  });
+  EXPECT_NO_THROW(engine.run());
+  const auto& receiver = static_cast<RepeatSendProgram&>(engine.program(1));
+  EXPECT_EQ(receiver.received(), RepeatSendProgram::kRounds);
+}
+
+TEST(CongestEngine, LedgerChargesRunCost) {
+  const Graph g = path_graph(6);
+  CongestEngine engine(g, [](NodeId v) {
+    return std::make_unique<FloodProgram>(v);
+  });
+  const auto rounds = engine.run();
+  EXPECT_DOUBLE_EQ(engine.ledger().total_rounds(),
+                   static_cast<double>(rounds));
+  EXPECT_GT(engine.ledger().total_messages(), 0u);
+}
+
 TEST(CongestEngine, QuiescenceTerminates) {
   const Graph g = cycle_graph(8);
   CongestEngine engine(g, [](NodeId v) {

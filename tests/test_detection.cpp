@@ -41,6 +41,38 @@ TEST(Detection, ThresholdSensitivity) {
   EXPECT_FALSE(detect_kp(g, cfg).found);
 }
 
+TEST(Detection, AgreesWithOracleOnRandomSweep) {
+  // Differential detection: found ⟺ the oracle count is positive, and
+  // any witness is a real clique. Densities straddle the Kp emergence
+  // thresholds so both outcomes occur across the sweep.
+  int positives = 0, negatives = 0;
+  for (const int p : {3, 4, 5}) {
+    for (const double density : {0.03, 0.1, 0.3}) {
+      for (const int seed : {1, 2}) {
+        Rng rng(static_cast<std::uint64_t>(seed) * 271 + 9);
+        const Graph g = erdos_renyi_gnp(60, density, rng);
+        KpConfig cfg;
+        cfg.p = p;
+        cfg.seed = static_cast<std::uint64_t>(seed);
+        const auto result = detect_kp(g, cfg);
+        const bool truth = count_k_cliques(g, p) > 0;
+        EXPECT_EQ(result.found, truth)
+            << "p=" << p << " density=" << density << " seed=" << seed;
+        EXPECT_GE(result.rounds, 0.0);
+        if (result.found) {
+          ASSERT_EQ(result.witness.size(), static_cast<std::size_t>(p));
+          EXPECT_TRUE(is_clique(g, result.witness));
+          ++positives;
+        } else {
+          ++negatives;
+        }
+      }
+    }
+  }
+  EXPECT_GT(positives, 0) << "sweep never exercised the positive branch";
+  EXPECT_GT(negatives, 0) << "sweep never exercised the negative branch";
+}
+
 TEST(Counting, MatchesSequentialOracle) {
   Rng rng(2);
   const Graph g = erdos_renyi_gnm(90, 1200, rng);

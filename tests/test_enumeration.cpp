@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
 
 #include "common/math_util.h"
@@ -121,6 +122,36 @@ TEST(MaximalCliques, CountMatchesMoonMoserOnSmallCases) {
   }
   const Graph g = Graph::from_edges(9, std::move(edges));
   EXPECT_EQ(maximal_cliques(g).size(), 27u);
+}
+
+TEST(MaximalCliques, ConsistentWithKpListing) {
+  // Cross-validation between the two enumeration entry points: every
+  // p-subset of a maximal clique is a Kp the lister must report, and
+  // every listed Kp must be contained in some maximal clique.
+  Rng rng(11);
+  const Graph g = erdos_renyi_gnp(40, 0.25, rng);
+  const auto maximal = maximal_cliques(g);
+  const int p = 3;
+  const CliqueSet listed{list_k_cliques(g, p)};
+  for (const auto& mc : maximal) {
+    if (mc.size() < static_cast<std::size_t>(p)) continue;
+    // Check the p-prefix and p-suffix subsets (spot checks; the full
+    // subset lattice is covered by the differential suite).
+    Clique prefix(mc.begin(), mc.begin() + p);
+    Clique suffix(mc.end() - p, mc.end());
+    EXPECT_TRUE(listed.contains(prefix));
+    EXPECT_TRUE(listed.contains(suffix));
+  }
+  for (const auto& clique : listed.to_vector()) {
+    bool inside_some_maximal = false;
+    for (const auto& mc : maximal) {
+      if (std::includes(mc.begin(), mc.end(), clique.begin(), clique.end())) {
+        inside_some_maximal = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(inside_some_maximal);
+  }
 }
 
 TEST(CliqueNumber, KnownValues) {

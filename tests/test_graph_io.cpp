@@ -82,5 +82,29 @@ TEST(GraphIo, EmptyGraphRoundTrip) {
   EXPECT_EQ(g.edge_count(), 0);
 }
 
+TEST(GraphIo, RoundTripPreservesAllFamilies) {
+  // The CLI pipes every generator family through this format; a lossy
+  // round-trip would silently corrupt every downstream experiment.
+  Rng rng(4);
+  const Graph graphs[] = {
+      complete_graph(9),
+      star_graph(8),
+      cycle_graph(11),
+      erdos_renyi_gnp(40, 0.2, rng),
+      power_law_chung_lu(50, 2.5, 6.0, rng),
+      stochastic_block_model({10, 10, 10}, 0.6, 0.05, rng),
+  };
+  for (const Graph& g : graphs) {
+    std::stringstream ss;
+    write_edge_list(g, ss);
+    const Graph back = read_edge_list(ss);
+    ASSERT_EQ(back.node_count(), g.node_count());
+    ASSERT_EQ(back.edge_count(), g.edge_count());
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      EXPECT_EQ(back.edge(e), g.edge(e));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dcl

@@ -95,6 +95,27 @@ TEST(InClusterListing, NoGoalEdgesNoOutput) {
   EXPECT_GT(cost.max_recv, 0);
 }
 
+TEST(InClusterListing, ExactOnRandomGraphs) {
+  // Differential check on unstructured instances: with the whole graph as
+  // one cluster and every edge a goal edge, in-cluster listing must
+  // reproduce the oracle exactly (the §2.4 contract).
+  for (const int seed : {1, 2, 3}) {
+    Rng gen(static_cast<std::uint64_t>(seed) * 53 + 11);
+    Scenario s(erdos_renyi_gnp(28, 0.3, gen));
+    for (const int p : {3, 4}) {
+      Rng rng(static_cast<std::uint64_t>(seed));
+      ListingOutput out(s.g.node_count());
+      const auto cost = in_cluster_list(s.problem(p), rng, out);
+      EXPECT_TRUE(out.cliques() == CliqueSet(list_k_cliques(s.g, p)))
+          << "seed=" << seed << " p=" << p;
+      EXPECT_GE(cost.max_send, 0);
+      EXPECT_GE(cost.max_recv, 0);
+      EXPECT_GE(cost.parts, 1);
+      EXPECT_GE(cost.cliques_reported, out.unique_count());
+    }
+  }
+}
+
 TEST(InClusterListing, WorstCaseChargeDominatesMeasured) {
   Rng gen(6);
   Scenario s(erdos_renyi_gnm(30, 120, gen));

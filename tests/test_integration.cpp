@@ -13,6 +13,7 @@
 #include "enumeration/clique_enumeration.h"
 #include "graph/graph_io.h"
 #include "graph/workloads.h"
+#include "test_util.h"
 
 namespace dcl {
 namespace {
@@ -20,7 +21,8 @@ namespace {
 void expect_exact_listing(const Graph& g, const KpConfig& cfg) {
   const CliqueSet truth{list_k_cliques(g, cfg.p)};
   ListingOutput out(g.node_count());
-  list_kp_collect(g, cfg, out);
+  const auto result = list_kp_collect(g, cfg, out);
+  expect_result_valid(result);
   const auto missing = truth.difference(out.cliques());
   const auto extra = out.cliques().difference(truth);
   EXPECT_TRUE(missing.empty()) << missing.size() << " missed of "

@@ -6,6 +6,7 @@
 
 #include "enumeration/clique_enumeration.h"
 #include "graph/generators.h"
+#include "test_util.h"
 
 namespace dcl {
 namespace {
@@ -16,6 +17,7 @@ void expect_exact(const Graph& g, const KpConfig& cfg) {
   const CliqueSet truth{list_k_cliques(g, cfg.p)};
   ListingOutput out(g.node_count());
   const auto result = list_kp_collect(g, cfg, out);
+  expect_result_valid(result);
   const auto missing = truth.difference(out.cliques());
   const auto extra = out.cliques().difference(truth);
   EXPECT_TRUE(missing.empty())

@@ -37,6 +37,21 @@ TEST(ListingOutput, CliquesAccessible) {
   EXPECT_FALSE(out.cliques().contains({0, 1, 2}));
 }
 
+TEST(ListingOutput, UnionSemanticsUnderMaximalDuplication) {
+  // The Section 1 guarantee is about the union of node outputs: if every
+  // node reports the same clique, the collector must still count one
+  // unique instance, with duplication factor n.
+  const NodeId n = 7;
+  ListingOutput out(n);
+  const NodeId clique[] = {0, 2, 5};
+  for (NodeId v = 0; v < n; ++v) out.report(v, clique);
+  EXPECT_EQ(out.unique_count(), 1u);
+  EXPECT_EQ(out.total_reports(), static_cast<std::uint64_t>(n));
+  EXPECT_DOUBLE_EQ(out.duplication_factor(), static_cast<double>(n));
+  EXPECT_EQ(out.max_reports_per_node(), 1u);
+  for (NodeId v = 0; v < n; ++v) EXPECT_EQ(out.reports_of(v), 1u);
+}
+
 TEST(KpConfigDefaults, MatchPaperStructure) {
   const KpConfig cfg;
   EXPECT_EQ(cfg.p, 4);

@@ -100,5 +100,67 @@ TEST(Convergecast, IgnoresOtherComponents) {
   EXPECT_EQ(result.sum, 3);
 }
 
+// ---- Round bounds vs eccentricity ----------------------------------------
+//
+// The textbook guarantee for flood-based primitives is completion in
+// eccentricity(root) + 1 rounds (one extra round to detect quiescence is
+// tolerated). Paths, stars, and cycles have closed-form eccentricities, so
+// the simulated round counts can be pinned against them exactly.
+
+void expect_rounds_near_eccentricity(const Graph& g, NodeId root,
+                                     std::int64_t ecc) {
+  const auto tree = build_bfs_tree(g, root);
+  EXPECT_GE(tree.rounds, ecc) << "BFS cannot beat eccentricity";
+  EXPECT_LE(tree.rounds, ecc + 2) << "BFS flood should finish in ~ecc+1";
+
+  const auto bcast = broadcast_value(g, root, 7);
+  EXPECT_GE(bcast.rounds, ecc);
+  EXPECT_LE(bcast.rounds, ecc + 2);
+
+  std::vector<std::int64_t> ones(
+      static_cast<std::size_t>(g.node_count()), 1);
+  const auto sum = convergecast_sum(g, root, ones);
+  // Convergecast = BFS down + upcast back: at least ecc, at most ~2·ecc+2.
+  EXPECT_GE(sum.rounds, ecc);
+  EXPECT_LE(sum.rounds, 2 * ecc + 3);
+}
+
+TEST(RoundBounds, PathFromEnd) {
+  // Root at one end of P_n: eccentricity n-1.
+  expect_rounds_near_eccentricity(path_graph(9), 0, 8);
+}
+
+TEST(RoundBounds, PathFromMiddle) {
+  // Root at the center of P_9: eccentricity 4.
+  expect_rounds_near_eccentricity(path_graph(9), 4, 4);
+}
+
+TEST(RoundBounds, StarFromHub) {
+  // Hub of a star: eccentricity 1 regardless of size.
+  expect_rounds_near_eccentricity(star_graph(12), 0, 1);
+}
+
+TEST(RoundBounds, StarFromLeaf) {
+  // A leaf reaches every other leaf through the hub: eccentricity 2.
+  expect_rounds_near_eccentricity(star_graph(12), 3, 2);
+}
+
+TEST(RoundBounds, EvenCycle) {
+  // C_10: eccentricity n/2 = 5 from every node.
+  expect_rounds_near_eccentricity(cycle_graph(10), 2, 5);
+}
+
+TEST(RoundBounds, OddCycle) {
+  // C_11: eccentricity (n-1)/2 = 5.
+  expect_rounds_near_eccentricity(cycle_graph(11), 0, 5);
+}
+
+TEST(RoundBounds, SingletonTerminatesImmediately) {
+  const Graph g = empty_graph(1);
+  const auto tree = build_bfs_tree(g, 0);
+  EXPECT_EQ(tree.depth[0], 0);
+  EXPECT_LE(tree.rounds, 2);
+}
+
 }  // namespace
 }  // namespace dcl

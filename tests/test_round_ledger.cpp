@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "test_util.h"
+
 namespace dcl {
 namespace {
 
@@ -56,6 +58,39 @@ TEST(RoundLedger, PrintBreakdownContainsLabels) {
   EXPECT_NE(text.find("alpha-phase"), std::string::npos);
   EXPECT_NE(text.find("beta-charge"), std::string::npos);
   EXPECT_NE(text.find("total=7.0"), std::string::npos);
+}
+
+TEST(RoundLedger, InvariantsHoldAcrossAllChannels) {
+  RoundLedger ledger;
+  expect_ledger_valid(ledger);  // empty ledger is trivially valid
+  ledger.charge_exchange("exchange-phase", 3.0, 30);
+  ledger.charge_routing("routing-phase", 2.5, 12);
+  ledger.charge_analytic("analytic-phase", 7.0);
+  ledger.charge_exchange("free-phase", 0.0, 0);  // zero-cost entries legal
+  expect_ledger_valid(ledger);
+}
+
+TEST(RoundLedger, TotalIsMonotoneUnderAppendAndMerge) {
+  // Appending entries or merging another ledger can only grow the total:
+  // the audited cost of a longer execution is never smaller.
+  RoundLedger ledger;
+  double previous = ledger.total_rounds();
+  for (int i = 0; i < 16; ++i) {
+    if (i % 3 == 0) {
+      ledger.charge_exchange("e", static_cast<double>(i), 1);
+    } else if (i % 3 == 1) {
+      ledger.charge_routing("r", 0.5 * i, 2);
+    } else {
+      ledger.charge_analytic("a", 1.25 * i);
+    }
+    EXPECT_GE(ledger.total_rounds(), previous) << "entry " << i;
+    previous = ledger.total_rounds();
+  }
+  RoundLedger other;
+  other.charge_exchange("tail", 4.0, 4);
+  ledger.merge(other);
+  EXPECT_GE(ledger.total_rounds(), previous);
+  expect_ledger_valid(ledger);
 }
 
 TEST(CostKindNames, AllDistinct) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.h"
+#include "test_util.h"
 
 namespace dcl {
 namespace {
@@ -37,6 +38,7 @@ TEST(ParallelRoutingCharge, TakesMaxOverClusters) {
   EXPECT_EQ(ledger.total_messages(), 600u);
   EXPECT_EQ(charge.worst_load(), 100);
   EXPECT_DOUBLE_EQ(ledger.rounds_of_kind(CostKind::routing), 200.0);
+  expect_ledger_valid(ledger);
 }
 
 TEST(ParallelRoutingCharge, EmptyCommitsNothing) {

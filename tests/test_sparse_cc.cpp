@@ -6,6 +6,7 @@
 
 #include "enumeration/clique_enumeration.h"
 #include "graph/generators.h"
+#include "test_util.h"
 
 namespace dcl {
 namespace {
@@ -14,6 +15,7 @@ void expect_exact(const Graph& g, const SparseCcConfig& cfg) {
   const CliqueSet truth{list_k_cliques(g, cfg.p)};
   ListingOutput out(g.node_count());
   const auto result = sparse_cc_list(g, cfg, out);
+  expect_ledger_valid(result.ledger);
   EXPECT_TRUE(out.cliques() == truth)
       << "truth=" << truth.size() << " got=" << out.unique_count();
   EXPECT_EQ(result.unique_cliques, truth.size());

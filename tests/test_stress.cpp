@@ -9,6 +9,7 @@
 #include "enumeration/clique_enumeration.h"
 #include "graph/generators.h"
 #include "graph/workloads.h"
+#include "test_util.h"
 
 namespace dcl {
 namespace {
@@ -16,7 +17,8 @@ namespace {
 void expect_exact(const Graph& g, const KpConfig& cfg) {
   const CliqueSet truth{list_k_cliques(g, cfg.p)};
   ListingOutput out(g.node_count());
-  list_kp_collect(g, cfg, out);
+  const auto result = list_kp_collect(g, cfg, out);
+  expect_result_valid(result);
   EXPECT_TRUE(out.cliques() == truth)
       << "expected " << truth.size() << ", got " << out.unique_count();
 }

@@ -186,10 +186,15 @@ int cmd_decompose(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  if (cmd == "generate") return cmd_generate(argc - 2, argv + 2);
-  if (cmd == "info") return cmd_info(argc - 2, argv + 2);
-  if (cmd == "list") return cmd_list(argc - 2, argv + 2);
-  if (cmd == "count") return cmd_count(argc - 2, argv + 2);
-  if (cmd == "decompose") return cmd_decompose(argc - 2, argv + 2);
+  try {
+    if (cmd == "generate") return cmd_generate(argc - 2, argv + 2);
+    if (cmd == "info") return cmd_info(argc - 2, argv + 2);
+    if (cmd == "list") return cmd_list(argc - 2, argv + 2);
+    if (cmd == "count") return cmd_count(argc - 2, argv + 2);
+    if (cmd == "decompose") return cmd_decompose(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dcl %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
   return usage();
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure + build + ctest, exactly the gate every PR
+# must keep green (see ROADMAP.md).
+#
+# Usage:
+#   tools/run_tier1.sh                 # Release build, all tests
+#   tools/run_tier1.sh -R Differential # forward extra args to ctest
+#   BUILD_DIR=build-asan CMAKE_ARGS="-DCMAKE_BUILD_TYPE=Debug -DDCL_SANITIZE=ON" \
+#     tools/run_tier1.sh              # sanitizer configuration
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)}"
+
+# Relative BUILD_DIR is rooted at the repo; absolute paths pass through.
+case "${BUILD_DIR}" in
+  /*) ;;
+  *) BUILD_DIR="${REPO_ROOT}/${BUILD_DIR}" ;;
+esac
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" ${CMAKE_ARGS:-}
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+cd "${BUILD_DIR}"
+ctest --output-on-failure -j "${JOBS}" "$@"
