@@ -1,0 +1,92 @@
+// bench_core — the perf trajectory baseline (see docs/PERFORMANCE.md).
+//
+// Times the hot kernels every listing algorithm runs on (sequential
+// enumeration over ER and planted-clique inputs) plus the end-to-end
+// distributed Kp lister, and records fixed-seed round-ledger totals so a
+// refactor can prove it changed *speed* without changing the *cost model*:
+// the counters in the emitted JSON must stay bit-identical across perf PRs.
+//
+// Usage: bench_core [--out FILE]    (FILE defaults to "-" = stdout table +
+// no JSON; tools/run_bench.sh writes BENCH_core.json). The timing loop is
+// shrunk for CI smoke runs via DCL_BENCH_REPS / DCL_BENCH_MIN_MS.
+#include <cstring>
+
+#include "bench_util.h"
+#include "core/kp_lister.h"
+#include "enumeration/clique_enumeration.h"
+#include "graph/generators.h"
+
+namespace dcl::bench {
+namespace {
+
+void enumeration_benchmarks(BenchReport& report, const char* input_name,
+                            const Graph& g) {
+  for (const int p : {3, 4}) {
+    const std::uint64_t cliques = count_k_cliques(g, p);
+    {
+      auto& t = report.add(time_kernel(
+          std::string("count_k_cliques/p=") + std::to_string(p) + "/" +
+              input_name,
+          [&] { return count_k_cliques(g, p); },
+          static_cast<double>(cliques)));
+      t.counters.emplace_back("cliques", static_cast<double>(cliques));
+    }
+    {
+      auto& t = report.add(time_kernel(
+          std::string("list_k_cliques/p=") + std::to_string(p) + "/" +
+              input_name,
+          [&] { return static_cast<std::uint64_t>(list_k_cliques(g, p).size()); },
+          static_cast<double>(cliques)));
+      t.counters.emplace_back("cliques", static_cast<double>(cliques));
+    }
+  }
+}
+
+void list_kp_benchmark(BenchReport& report, const char* input_name,
+                       const Graph& g, int p) {
+  KpConfig cfg;
+  cfg.p = p;
+  cfg.seed = 7;
+  cfg.stop_scale = 0.1;  // drive the iterated pipeline, not just the final
+                         // broadcast, so the masks and dedup paths are hot
+  // One fixed-seed reference run: the ledger totals are the cost-model
+  // fingerprint that perf refactors must keep bit-identical.
+  const KpListResult ref = list_kp(g, cfg);
+  auto& t = report.add(time_kernel(
+      std::string("list_kp/p=") + std::to_string(p) + "/" + input_name,
+      [&] { return list_kp(g, cfg).total_reports; },
+      static_cast<double>(ref.unique_cliques)));
+  t.counters.emplace_back("ledger_total_rounds", ref.total_rounds());
+  t.counters.emplace_back("unique_cliques",
+                          static_cast<double>(ref.unique_cliques));
+  t.counters.emplace_back("total_reports",
+                          static_cast<double>(ref.total_reports));
+}
+
+int run(const char* out_path) {
+  BenchReport report("bench_core");
+
+  Rng er_rng(1);
+  const Graph er2000 = erdos_renyi_gnm(2000, 30000, er_rng);
+  enumeration_benchmarks(report, "er_n2000_m30000", er2000);
+
+  Rng planted_rng(2);
+  const Graph planted = planted_clique(2000, 24, 0.01, planted_rng).graph;
+  enumeration_benchmarks(report, "planted_n2000_k24", planted);
+
+  Rng kp_rng(3);
+  const Graph kp_input = erdos_renyi_gnm(140, 3200, kp_rng);
+  list_kp_benchmark(report, "er_n140_m3200", kp_input, 4);
+  Rng kp5_rng(4);
+  const Graph kp5_input = erdos_renyi_gnm(120, 2200, kp5_rng);
+  list_kp_benchmark(report, "er_n120_m2200", kp5_input, 5);
+
+  return finish_report(report, out_path);
+}
+
+}  // namespace
+}  // namespace dcl::bench
+
+int main(int argc, char** argv) {
+  return dcl::bench::bench_main(argc, argv, dcl::bench::run);
+}

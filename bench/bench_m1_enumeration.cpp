@@ -2,72 +2,70 @@
 //
 // The ground-truth oracle and the per-node local listing inside the
 // distributed algorithms both run on these kernels; their throughput sets
-// the wall-clock budget of every experiment.
-#include <benchmark/benchmark.h>
+// the wall-clock budget of every experiment. Self-timed (min-of-k); no
+// external benchmarking library needed. Usage: bench_m1 [--out FILE].
+#include <cstring>
 
+#include "bench_util.h"
 #include "enumeration/clique_enumeration.h"
 #include "graph/generators.h"
 #include "graph/orientation.h"
 
-namespace dcl {
+namespace dcl::bench {
 namespace {
 
-const Graph& workload(int which) {
-  static const Graph sparse = [] {
-    Rng rng(1);
-    return erdos_renyi_gnm(512, 6000, rng);
-  }();
-  static const Graph dense = [] {
-    Rng rng(2);
-    return erdos_renyi_gnm(200, 8000, rng);
-  }();
-  return which == 0 ? sparse : dense;
-}
+int run(const char* out_path) {
+  BenchReport report("bench_m1_enumeration");
 
-void BM_ListKCliques(benchmark::State& state) {
-  const Graph& g = workload(static_cast<int>(state.range(1)));
-  const int p = static_cast<int>(state.range(0));
-  std::uint64_t found = 0;
-  for (auto _ : state) {
-    found = count_k_cliques(g, p);
-    benchmark::DoNotOptimize(found);
-  }
-  state.counters["cliques"] = static_cast<double>(found);
-}
-BENCHMARK(BM_ListKCliques)
-    ->ArgsProduct({{3, 4, 5}, {0, 1}})
-    ->Unit(benchmark::kMillisecond);
+  Rng sparse_rng(1);
+  const Graph sparse = erdos_renyi_gnm(512, 6000, sparse_rng);
+  Rng dense_rng(2);
+  const Graph dense = erdos_renyi_gnm(200, 8000, dense_rng);
 
-void BM_NaiveCount(benchmark::State& state) {
-  const Graph& g = workload(0);
-  const int p = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(count_k_cliques_naive(g, p));
+  for (const auto& [label, g] :
+       {std::pair<const char*, const Graph*>{"sparse_n512_m6000", &sparse},
+        std::pair<const char*, const Graph*>{"dense_n200_m8000", &dense}}) {
+    for (const int p : {3, 4, 5}) {
+      const std::uint64_t found = count_k_cliques(*g, p);
+      auto& t = report.add(time_kernel(
+          std::string("count_k_cliques/p=") + std::to_string(p) + "/" + label,
+          [&g = *g, p] { return count_k_cliques(g, p); },
+          static_cast<double>(found)));
+      t.counters.emplace_back("cliques", static_cast<double>(found));
+    }
   }
-}
-BENCHMARK(BM_NaiveCount)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
 
-void BM_MaximalCliques(benchmark::State& state) {
-  Rng rng(3);
-  const Graph g = erdos_renyi_gnm(150, 2000, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(maximal_cliques(g));
+  for (const int p : {3, 4}) {
+    report.add(time_kernel(
+        std::string("count_k_cliques_naive/p=") + std::to_string(p) +
+            "/sparse_n512_m6000",
+        [&, p] { return count_k_cliques_naive(sparse, p); }));
   }
-}
-BENCHMARK(BM_MaximalCliques)->Unit(benchmark::kMillisecond);
 
-void BM_DegeneracyOrder(benchmark::State& state) {
-  Rng rng(4);
-  const Graph g =
-      erdos_renyi_gnm(static_cast<NodeId>(state.range(0)),
-                      static_cast<EdgeId>(12 * state.range(0)), rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(degeneracy_order(g));
+  {
+    Rng rng(3);
+    const Graph g = erdos_renyi_gnm(150, 2000, rng);
+    report.add(time_kernel("maximal_cliques/er_n150_m2000", [&] {
+      return static_cast<std::uint64_t>(maximal_cliques(g).size());
+    }));
   }
+
+  for (const int n : {512, 2048, 8192}) {
+    Rng rng(4);
+    const Graph g = erdos_renyi_gnm(static_cast<NodeId>(n),
+                                    static_cast<EdgeId>(12LL * n), rng);
+    report.add(time_kernel(
+        std::string("degeneracy_order/n=") + std::to_string(n),
+        [&] { return static_cast<std::uint64_t>(degeneracy_order(g).degeneracy); },
+        static_cast<double>(g.edge_count())));
+  }
+
+  return finish_report(report, out_path);
 }
-BENCHMARK(BM_DegeneracyOrder)->Arg(512)->Arg(2048)->Arg(8192);
 
 }  // namespace
-}  // namespace dcl
+}  // namespace dcl::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dcl::bench::bench_main(argc, argv, dcl::bench::run);
+}

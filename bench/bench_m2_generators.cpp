@@ -1,72 +1,88 @@
 // M2 — substrate micro-benchmarks: graph generators and CSR construction.
-#include <benchmark/benchmark.h>
+// Self-timed (min-of-k); usage: bench_m2 [--out FILE].
+#include <cstring>
 
+#include "bench_util.h"
 #include "graph/generators.h"
 
-namespace dcl {
+namespace dcl::bench {
 namespace {
 
-void BM_ErdosRenyiGnm(benchmark::State& state) {
-  const auto n = static_cast<NodeId>(state.range(0));
-  const auto m = static_cast<EdgeId>(8 * state.range(0));
-  Rng rng(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(erdos_renyi_gnm(n, m, rng));
-  }
-  state.SetItemsProcessed(state.iterations() * m);
-}
-BENCHMARK(BM_ErdosRenyiGnm)->Arg(1024)->Arg(4096)->Arg(16384);
+int run(const char* out_path) {
+  BenchReport report("bench_m2_generators");
 
-void BM_ErdosRenyiGnp(benchmark::State& state) {
-  const auto n = static_cast<NodeId>(state.range(0));
-  Rng rng(2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(erdos_renyi_gnp(n, 16.0 / n, rng));
+  for (const int n : {1024, 4096, 16384}) {
+    const auto m = static_cast<EdgeId>(8LL * n);
+    report.add(time_kernel(
+        std::string("erdos_renyi_gnm/n=") + std::to_string(n),
+        [n, m] {
+          Rng rng(1);
+          return static_cast<std::uint64_t>(
+              erdos_renyi_gnm(static_cast<NodeId>(n), m, rng).edge_count());
+        },
+        static_cast<double>(m)));
   }
-}
-BENCHMARK(BM_ErdosRenyiGnp)->Arg(1024)->Arg(4096)->Arg(16384);
 
-void BM_StochasticBlockModel(benchmark::State& state) {
-  const auto half = static_cast<NodeId>(state.range(0) / 2);
-  Rng rng(3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        stochastic_block_model({half, half}, 0.1, 0.01, rng));
+  for (const int n : {1024, 4096, 16384}) {
+    report.add(time_kernel(
+        std::string("erdos_renyi_gnp/n=") + std::to_string(n), [n] {
+          Rng rng(2);
+          return static_cast<std::uint64_t>(
+              erdos_renyi_gnp(static_cast<NodeId>(n), 16.0 / n, rng)
+                  .edge_count());
+        }));
   }
-}
-BENCHMARK(BM_StochasticBlockModel)->Arg(256)->Arg(1024);
 
-void BM_PowerLawChungLu(benchmark::State& state) {
-  const auto n = static_cast<NodeId>(state.range(0));
-  Rng rng(4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(power_law_chung_lu(n, 2.5, 12.0, rng));
+  for (const int n : {256, 1024}) {
+    const auto half = static_cast<NodeId>(n / 2);
+    report.add(time_kernel(
+        std::string("stochastic_block_model/n=") + std::to_string(n), [half] {
+          Rng rng(3);
+          return static_cast<std::uint64_t>(
+              stochastic_block_model({half, half}, 0.1, 0.01, rng)
+                  .edge_count());
+        }));
   }
-}
-BENCHMARK(BM_PowerLawChungLu)->Arg(256)->Arg(1024);
 
-void BM_RandomRegular(benchmark::State& state) {
-  const auto n = static_cast<NodeId>(state.range(0));
-  Rng rng(5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(random_regular(n, 8, rng));
+  for (const int n : {256, 1024}) {
+    report.add(time_kernel(
+        std::string("power_law_chung_lu/n=") + std::to_string(n), [n] {
+          Rng rng(4);
+          return static_cast<std::uint64_t>(
+              power_law_chung_lu(static_cast<NodeId>(n), 2.5, 12.0, rng)
+                  .edge_count());
+        }));
   }
-}
-BENCHMARK(BM_RandomRegular)->Arg(256)->Arg(1024);
 
-void BM_CsrConstruction(benchmark::State& state) {
-  Rng rng(6);
-  const Graph g = erdos_renyi_gnm(4096, 65536, rng);
-  std::vector<Edge> edges(g.edges().begin(), g.edges().end());
-  for (auto _ : state) {
-    auto copy = edges;
-    benchmark::DoNotOptimize(Graph::from_edges(4096, std::move(copy)));
+  for (const int n : {256, 1024}) {
+    report.add(time_kernel(
+        std::string("random_regular/n=") + std::to_string(n), [n] {
+          Rng rng(5);
+          return static_cast<std::uint64_t>(
+              random_regular(static_cast<NodeId>(n), 8, rng).edge_count());
+        }));
   }
-  state.SetItemsProcessed(state.iterations() * 65536);
+
+  {
+    Rng rng(6);
+    const Graph g = erdos_renyi_gnm(4096, 65536, rng);
+    const std::vector<Edge> edges(g.edges().begin(), g.edges().end());
+    report.add(time_kernel(
+        "csr_construction/n4096_m65536",
+        [&] {
+          auto copy = edges;
+          return static_cast<std::uint64_t>(
+              Graph::from_edges(4096, std::move(copy)).edge_count());
+        },
+        65536.0));
+  }
+
+  return finish_report(report, out_path);
 }
-BENCHMARK(BM_CsrConstruction);
 
 }  // namespace
-}  // namespace dcl
+}  // namespace dcl::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dcl::bench::bench_main(argc, argv, dcl::bench::run);
+}

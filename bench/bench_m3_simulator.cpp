@@ -1,81 +1,92 @@
 // M3 — substrate micro-benchmarks: the CONGEST / CONGESTED CLIQUE
 // simulators, spectral tools, and the expander decomposition.
-#include <benchmark/benchmark.h>
+// Self-timed (min-of-k); usage: bench_m3 [--out FILE].
+#include <cstring>
 
+#include "bench_util.h"
 #include "congest/clique_network.h"
 #include "congest/congest_network.h"
 #include "expander/decomposition.h"
 #include "expander/spectral.h"
 #include "graph/generators.h"
 
-namespace dcl {
+namespace dcl::bench {
 namespace {
 
-void BM_CongestPhaseThroughput(benchmark::State& state) {
-  Rng rng(1);
-  const Graph g = erdos_renyi_gnm(1024, 16384, rng);
-  CongestNetwork net(g);
-  std::uint64_t sent = 0;
-  for (auto _ : state) {
-    net.begin_phase("bench");
-    for (NodeId v = 0; v < g.node_count(); ++v) {
-      for (const NodeId w : g.neighbors(v)) {
-        net.send(v, w, Message{.tag = 1, .a = v, .b = w});
-        ++sent;
-      }
-    }
-    benchmark::DoNotOptimize(net.end_phase());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(sent));
-}
-BENCHMARK(BM_CongestPhaseThroughput)->Unit(benchmark::kMillisecond);
+int run(const char* out_path) {
+  BenchReport report("bench_m3_simulator");
 
-void BM_CliquePhaseLenzen(benchmark::State& state) {
-  CliqueNetwork net(256, CliqueRoutingMode::lenzen);
-  Rng rng(2);
-  for (auto _ : state) {
-    net.begin_phase("bench");
-    for (int i = 0; i < 20000; ++i) {
-      const auto a = static_cast<NodeId>(rng.next_below(256));
-      auto b = static_cast<NodeId>(rng.next_below(255));
-      if (b >= a) ++b;
-      net.send(a, b, Message{.tag = i});
-    }
-    benchmark::DoNotOptimize(net.end_phase());
+  {
+    Rng rng(1);
+    const Graph g = erdos_renyi_gnm(1024, 16384, rng);
+    CongestNetwork net(g);
+    report.add(time_kernel(
+        "congest_phase_throughput/n1024_m16384",
+        [&] {
+          net.begin_phase("bench");
+          for (NodeId v = 0; v < g.node_count(); ++v) {
+            for (const NodeId w : g.neighbors(v)) {
+              net.send(v, w, Message{.tag = 1, .a = v, .b = w});
+            }
+          }
+          return static_cast<std::uint64_t>(net.end_phase());
+        },
+        static_cast<double>(2 * g.edge_count())));
   }
-  state.SetItemsProcessed(state.iterations() * 20000);
-}
-BENCHMARK(BM_CliquePhaseLenzen)->Unit(benchmark::kMillisecond);
 
-void BM_SecondEigenvector(benchmark::State& state) {
-  Rng rng(3);
-  const Graph g = erdos_renyi_gnm(static_cast<NodeId>(state.range(0)),
-                                  static_cast<EdgeId>(10 * state.range(0)),
-                                  rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(second_eigenvector(g, rng, 120));
+  {
+    CliqueNetwork net(256, CliqueRoutingMode::lenzen);
+    Rng rng(2);
+    report.add(time_kernel(
+        "clique_phase_lenzen/n256_20k",
+        [&] {
+          net.begin_phase("bench");
+          for (int i = 0; i < 20000; ++i) {
+            const auto a = static_cast<NodeId>(rng.next_below(256));
+            auto b = static_cast<NodeId>(rng.next_below(255));
+            if (b >= a) ++b;
+            net.send(a, b, Message{.tag = i});
+          }
+          return static_cast<std::uint64_t>(net.end_phase());
+        },
+        20000.0));
   }
-}
-BENCHMARK(BM_SecondEigenvector)->Arg(512)->Arg(2048)->Unit(benchmark::kMillisecond);
 
-void BM_ExpanderDecomposition(benchmark::State& state) {
-  Rng rng(4);
-  const auto n = static_cast<NodeId>(state.range(0));
-  const Graph g = erdos_renyi_gnm(n, static_cast<EdgeId>(12LL * n), rng);
-  DecompositionConfig cfg;
-  // Absolute degree target keeps both sizes in the cluster-forming regime
-  // (at n^{0.55} the larger instance would peel without any spectral work).
-  cfg.absolute_degree = 8;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(expander_decompose(g, n, cfg, rng));
+  for (const int n : {512, 2048}) {
+    Rng rng(3);
+    const Graph g = erdos_renyi_gnm(static_cast<NodeId>(n),
+                                    static_cast<EdgeId>(10LL * n), rng);
+    report.add(time_kernel(
+        std::string("second_eigenvector/n=") + std::to_string(n), [&] {
+          Rng eig_rng(3);
+          const auto vec = second_eigenvector(g, eig_rng, 120);
+          return static_cast<std::uint64_t>(vec.size());
+        }));
   }
+
+  for (const int n : {512, 2048}) {
+    Rng rng(4);
+    const Graph g = erdos_renyi_gnm(static_cast<NodeId>(n),
+                                    static_cast<EdgeId>(12LL * n), rng);
+    DecompositionConfig cfg;
+    // Absolute degree target keeps both sizes in the cluster-forming regime
+    // (at n^{0.55} the larger instance would peel without any spectral work).
+    cfg.absolute_degree = 8;
+    report.add(time_kernel(
+        std::string("expander_decomposition/n=") + std::to_string(n), [&] {
+          Rng deco_rng(4);
+          return static_cast<std::uint64_t>(
+              expander_decompose(g, static_cast<NodeId>(n), cfg, deco_rng)
+                  .clusters.size());
+        }));
+  }
+
+  return finish_report(report, out_path);
 }
-BENCHMARK(BM_ExpanderDecomposition)
-    ->Arg(512)
-    ->Arg(2048)
-    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
-}  // namespace dcl
+}  // namespace dcl::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dcl::bench::bench_main(argc, argv, dcl::bench::run);
+}

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/intersect.h"
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "core/arb_list.h"
@@ -77,8 +78,7 @@ BaselineResult oblivious_cc_list(const Graph& g, int p, ListingOutput& out) {
         return lo != digits.end() && *lo == a && (lo + 1) != digits.end() &&
                *(lo + 1) == a;
       }
-      return std::binary_search(digits.begin(), digits.end(), a) &&
-             std::binary_search(digits.begin(), digits.end(), b);
+      return sorted_contains(digits, a) && sorted_contains(digits, b);
     };
     for (const Edge& e : g.edges()) {
       if (covered(part_of(e.u), part_of(e.v))) {
@@ -113,12 +113,12 @@ BaselineResult one_shot_list(const Graph& g, int p, ListingOutput& out,
   Rng rng(seed);
 
   const Orientation orient = degeneracy_orientation(g);
-  std::vector<bool> away(static_cast<std::size_t>(g.edge_count()));
+  EdgeMask away(g.edge_count());
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
-    away[static_cast<std::size_t>(e)] = orient.away_from_lower(e);
+    away.set(e, orient.away_from_lower(e));
   }
-  std::vector<bool> es(static_cast<std::size_t>(g.edge_count()), false);
-  std::vector<bool> er(static_cast<std::size_t>(g.edge_count()), true);
+  EdgeMask es(g.edge_count());
+  EdgeMask er(g.edge_count(), true);
 
   ListingOutput scratch(g.node_count());
   ArbListContext ctx;
@@ -137,11 +137,7 @@ BaselineResult one_shot_list(const Graph& g, int p, ListingOutput& out,
   // Everything the single pass did not remove is finished by a
   // neighborhood broadcast (no arboricity iteration — the cost the paper's
   // coupled iterations avoid).
-  std::vector<bool> leftover(static_cast<std::size_t>(g.edge_count()), false);
-  for (EdgeId e = 0; e < g.edge_count(); ++e) {
-    leftover[static_cast<std::size_t>(e)] =
-        es[static_cast<std::size_t>(e)] || er[static_cast<std::size_t>(e)];
-  }
+  const EdgeMask leftover = es | er;
   BroadcastListingArgs args;
   args.base = &g;
   args.current = &leftover;

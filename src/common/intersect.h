@@ -1,0 +1,147 @@
+// Sorted-intersection kernels — the innermost loops of every clique lister.
+//
+// All adjacency in this repository is kept as sorted NodeId lists (see
+// graph/graph.h), so "which candidates extend this clique?" is always a
+// sorted-set intersection. These kernels replace the scattered
+// std::set_intersection / std::binary_search call sites with two shapes:
+//  * a branchless two-pointer merge for similarly sized inputs — the
+//    advance/emit decisions compile to flag arithmetic instead of
+//    mispredicted branches on random graph data;
+//  * galloping (exponential probe + binary search) when one input is much
+//    shorter, giving O(|small| · log |large|) instead of O(|small|+|large|).
+// Both a counting variant (no output materialization) and an
+// intersect-into-buffer variant are provided; callers reuse scratch buffers
+// across calls so the hot recursion allocates nothing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dcl {
+
+namespace intersect_detail {
+
+/// One input must be at least this many times longer before galloping
+/// beats the linear merge (probe cost is a binary search per element of
+/// the short side).
+inline constexpr std::size_t kGallopSkew = 32;
+
+/// First index in [lo, n) with a[i] >= key, found by exponential probing
+/// from `lo` — O(log of the distance advanced), so scanning the short list
+/// against the long one stays sublinear overall.
+inline std::size_t gallop_lower_bound(const NodeId* a, std::size_t n,
+                                      std::size_t lo, NodeId key) {
+  std::size_t step = 1;
+  std::size_t hi = lo;
+  while (hi < n && a[hi] < key) {
+    lo = hi + 1;
+    hi += step;
+    step <<= 1;
+  }
+  if (hi > n) hi = n;
+  // Binary search in (lo-1, hi].
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (a[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+inline std::size_t count_merge(const NodeId* a, std::size_t na,
+                               const NodeId* b, std::size_t nb) {
+  std::size_t i = 0, j = 0, c = 0;
+  while (i < na && j < nb) {
+    const NodeId x = a[i];
+    const NodeId y = b[j];
+    c += static_cast<std::size_t>(x == y);
+    i += static_cast<std::size_t>(x <= y);
+    j += static_cast<std::size_t>(y <= x);
+  }
+  return c;
+}
+
+inline std::size_t count_gallop(const NodeId* small, std::size_t ns,
+                                const NodeId* large, std::size_t nl) {
+  std::size_t j = 0, c = 0;
+  for (std::size_t i = 0; i < ns; ++i) {
+    j = gallop_lower_bound(large, nl, j, small[i]);
+    if (j == nl) break;
+    c += static_cast<std::size_t>(large[j] == small[i]);
+  }
+  return c;
+}
+
+inline std::size_t into_merge(const NodeId* a, std::size_t na,
+                              const NodeId* b, std::size_t nb, NodeId* out) {
+  std::size_t i = 0, j = 0, c = 0;
+  while (i < na && j < nb) {
+    const NodeId x = a[i];
+    const NodeId y = b[j];
+    out[c] = x;
+    c += static_cast<std::size_t>(x == y);
+    i += static_cast<std::size_t>(x <= y);
+    j += static_cast<std::size_t>(y <= x);
+  }
+  return c;
+}
+
+inline std::size_t into_gallop(const NodeId* small, std::size_t ns,
+                               const NodeId* large, std::size_t nl,
+                               NodeId* out) {
+  std::size_t j = 0, c = 0;
+  for (std::size_t i = 0; i < ns; ++i) {
+    j = gallop_lower_bound(large, nl, j, small[i]);
+    if (j == nl) break;
+    out[c] = small[i];
+    c += static_cast<std::size_t>(large[j] == small[i]);
+  }
+  return c;
+}
+
+}  // namespace intersect_detail
+
+/// |a ∩ b| for sorted, duplicate-free inputs. Picks merge vs galloping by
+/// the size ratio.
+inline std::size_t intersect_count(std::span<const NodeId> a,
+                                   std::span<const NodeId> b) {
+  using namespace intersect_detail;
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return 0;
+  if (b.size() / a.size() >= kGallopSkew) {
+    return count_gallop(a.data(), a.size(), b.data(), b.size());
+  }
+  return count_merge(a.data(), a.size(), b.data(), b.size());
+}
+
+/// a ∩ b into `out` (cleared first, capacity grown once to min size). The
+/// buffer is a reference so hot recursions can reuse per-depth scratch.
+inline void intersect_into(std::span<const NodeId> a, std::span<const NodeId> b,
+                           std::vector<NodeId>& out) {
+  using namespace intersect_detail;
+  if (a.size() > b.size()) std::swap(a, b);
+  out.resize(a.size());
+  if (a.empty()) return;
+  std::size_t c;
+  if (b.size() / a.size() >= kGallopSkew) {
+    c = into_gallop(a.data(), a.size(), b.data(), b.size(), out.data());
+  } else {
+    c = into_merge(a.data(), a.size(), b.data(), b.size(), out.data());
+  }
+  out.resize(c);
+}
+
+/// Membership in a sorted list (binary search; the one-element intersection).
+inline bool sorted_contains(std::span<const NodeId> a, NodeId key) {
+  const std::size_t i =
+      intersect_detail::gallop_lower_bound(a.data(), a.size(), 0, key);
+  return i < a.size() && a[i] == key;
+}
+
+}  // namespace dcl

@@ -19,20 +19,18 @@ struct CurrentView {
   // out-neighbors per node under the current orientation.
   std::vector<std::vector<std::pair<NodeId, EdgeId>>> out;
 
-  CurrentView(const Graph& base, const std::vector<bool>& cur,
-              const std::vector<bool>& away) {
+  CurrentView(const Graph& base, const EdgeMask& cur, const EdgeMask& away) {
     const auto n = static_cast<std::size_t>(base.node_count());
     adj.resize(n);
     out.resize(n);
-    for (EdgeId e = 0; e < base.edge_count(); ++e) {
-      if (!cur[static_cast<std::size_t>(e)]) continue;
+    cur.for_each_set([&](EdgeId e) {
       const Edge& ed = base.edge(e);
       adj[static_cast<std::size_t>(ed.u)].emplace_back(ed.v, e);
       adj[static_cast<std::size_t>(ed.v)].emplace_back(ed.u, e);
-      const NodeId tail = away[static_cast<std::size_t>(e)] ? ed.u : ed.v;
+      const NodeId tail = away[e] ? ed.u : ed.v;
       const NodeId head = base.other_endpoint(e, tail);
       out[static_cast<std::size_t>(tail)].emplace_back(head, e);
-    }
+    });
   }
 };
 
@@ -47,19 +45,18 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   auto& away = *ctx.away;
 
   ArbIterationTrace trace;
-  for (EdgeId e = 0; e < base.edge_count(); ++e) {
-    if (er[static_cast<std::size_t>(e)]) ++trace.er_before;
-  }
+  trace.er_before = er.count();
   if (trace.er_before == 0) return trace;
 
   // ---- Step 1: expander decomposition of (V, Er) (Theorem 2.3). ----------
   std::vector<Edge> er_edges;
   std::vector<EdgeId> sub_to_base;
-  for (EdgeId e = 0; e < base.edge_count(); ++e) {
-    if (!er[static_cast<std::size_t>(e)]) continue;
+  er_edges.reserve(static_cast<std::size_t>(trace.er_before));
+  sub_to_base.reserve(static_cast<std::size_t>(trace.er_before));
+  er.for_each_set([&](EdgeId e) {
     er_edges.push_back(base.edge(e));
     sub_to_base.push_back(e);
-  }
+  });
   const Graph gr = Graph::from_edges(n, std::move(er_edges));
   // Graph::from_edges preserves the lexicographic order of the (already
   // sorted, distinct) base edges, so sub edge i corresponds to
@@ -78,13 +75,12 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
     const EdgeId be = sub_to_base[static_cast<std::size_t>(se)];
     switch (deco.part[static_cast<std::size_t>(se)]) {
       case EdgePart::sparse:
-        er[static_cast<std::size_t>(be)] = false;
-        es[static_cast<std::size_t>(be)] = true;
-        away[static_cast<std::size_t>(be)] =
-            deco.es_away_from_lower[static_cast<std::size_t>(se)];
+        er.set(be, false);
+        es.set(be, true);
+        away.set(be, deco.es_away_from_lower[static_cast<std::size_t>(se)]);
         break;
       case EdgePart::cluster:
-        er[static_cast<std::size_t>(be)] = false;  // pending goal/bad split
+        er.set(be, false);  // pending goal/bad split
         em_edges.push_back(be);
         break;
       case EdgePart::removed:
@@ -94,23 +90,15 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   trace.clusters = static_cast<std::int64_t>(deco.clusters.size());
 
   if (deco.clusters.empty()) {
-    for (EdgeId e = 0; e < base.edge_count(); ++e) {
-      if (er[static_cast<std::size_t>(e)]) ++trace.er_after;
-    }
-    for (EdgeId e = 0; e < base.edge_count(); ++e) {
-      if (es[static_cast<std::size_t>(e)]) ++trace.es_total;
-    }
+    trace.er_after = er.count();
+    trace.es_total = es.count();
     return trace;
   }
 
   // The "current graph" for this call: all Es ∪ Er ∪ Em edges that existed
   // on entry (Em edges are removed only after the call).
-  std::vector<bool> cur(static_cast<std::size_t>(base.edge_count()), false);
-  for (EdgeId e = 0; e < base.edge_count(); ++e) {
-    cur[static_cast<std::size_t>(e)] =
-        es[static_cast<std::size_t>(e)] || er[static_cast<std::size_t>(e)];
-  }
-  for (const EdgeId be : em_edges) cur[static_cast<std::size_t>(be)] = true;
+  EdgeMask cur = es | er;
+  for (const EdgeId be : em_edges) cur.set(be);
   CurrentView view(base, cur, away);
 
   const auto& cluster_of = deco.cluster_of;
@@ -221,15 +209,15 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
 
   // Goal edges = Em minus edges between two bad nodes; bad edges return to
   // Er for a later iteration (but stay in `cur` for communication).
-  std::vector<bool> goal(static_cast<std::size_t>(base.edge_count()), false);
+  EdgeMask goal(base.edge_count());
   for (const EdgeId be : em_edges) {
     const Edge& ed = base.edge(be);
     if (bad[static_cast<std::size_t>(ed.u)] &&
         bad[static_cast<std::size_t>(ed.v)]) {
-      er[static_cast<std::size_t>(be)] = true;
+      er.set(be, true);
       ++trace.bad_edges;
     } else {
-      goal[static_cast<std::size_t>(be)] = true;
+      goal.set(be, true);
       ++trace.goal_edges;
     }
   }
@@ -270,7 +258,7 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
           ++matches;
           // v reports the edge {v,w} with its orientation bit.
           const Edge& ed = base.edge(we);
-          const NodeId tail = away[static_cast<std::size_t>(we)] ? ed.u : ed.v;
+          const NodeId tail = away[we] ? ed.u : ed.v;
           learned[static_cast<std::size_t>(u)].push_back(
               KnownEdge{tail, base.other_endpoint(we, tail)});
         }
@@ -322,7 +310,7 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
       for (const auto& [v, e] : view.adj[static_cast<std::size_t>(u)]) {
         if (cluster_of[static_cast<std::size_t>(v)] == cluster.id) continue;
         const Edge& ed = base.edge(e);
-        const NodeId tail = away[static_cast<std::size_t>(e)] ? ed.u : ed.v;
+        const NodeId tail = away[e] ? ed.u : ed.v;
         if (tail == v) route(u, KnownEdge{v, u});
       }
       // Everything learned from outside during steps 2b and 4.
@@ -408,7 +396,7 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
           for (std::size_t x = 0; x < inter.size(); ++x) {
             for (std::size_t y = x + 1; y < inter.size(); ++y) {
               const auto eid = base.edge_id(inter[x], inter[y]);
-              if (!eid || !cur[static_cast<std::size_t>(*eid)]) continue;
+              if (!eid || !cur[*eid]) continue;
               const NodeId quad[4] = {inter[x], inter[y], v, v2};
               ctx.out->report(v, quad);
             }
@@ -422,10 +410,8 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
                                 static_cast<double>(probe_rounds), probe_msgs);
   }
 
-  for (EdgeId e = 0; e < base.edge_count(); ++e) {
-    if (er[static_cast<std::size_t>(e)]) ++trace.er_after;
-    if (es[static_cast<std::size_t>(e)]) ++trace.es_total;
-  }
+  trace.er_after = er.count();
+  trace.es_total = es.count();
   return trace;
 }
 

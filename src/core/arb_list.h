@@ -29,6 +29,7 @@
 #include "common/rng.h"
 #include "congest/round_ledger.h"
 #include "core/listing_types.h"
+#include "graph/edge_mask.h"
 #include "graph/graph.h"
 
 namespace dcl {
@@ -40,11 +41,11 @@ struct ArbListContext {
   Rng* rng = nullptr;
   ListingOutput* out = nullptr;
   /// Logical edge sets over base edge ids; mutated in place.
-  std::vector<bool>* es_mask = nullptr;
-  std::vector<bool>* er_mask = nullptr;
+  EdgeMask* es_mask = nullptr;
+  EdgeMask* er_mask = nullptr;
   /// Orientation (away-from-lower bit per base edge); entries of edges
   /// newly placed into Es are updated to the decomposition's orientation.
-  std::vector<bool>* away = nullptr;
+  EdgeMask* away = nullptr;
   /// n^δ, coupled to the arboricity bound: A / (2·log2 n) (Section 2.2).
   std::int64_t cluster_degree = 1;
   /// A — the current max-out-degree bound n^d.

@@ -15,8 +15,7 @@ BroadcastListingStats broadcast_listing(const BroadcastListingArgs& args,
     throw std::invalid_argument("broadcast_listing: out_edges needs away bits");
   }
   const auto is_current = [&](EdgeId e) {
-    return args.current == nullptr ||
-           (*args.current)[static_cast<std::size_t>(e)];
+    return args.current == nullptr || (*args.current)[e];
   };
 
   // Per-node current degree and out-degree.
@@ -32,7 +31,7 @@ BroadcastListingStats broadcast_listing(const BroadcastListingArgs& args,
     ++deg[static_cast<std::size_t>(ed.u)];
     ++deg[static_cast<std::size_t>(ed.v)];
     if (args.mode == BroadcastMode::out_edges) {
-      const NodeId tail = (*args.away)[static_cast<std::size_t>(e)] ? ed.u : ed.v;
+      const NodeId tail = (*args.away)[e] ? ed.u : ed.v;
       ++outdeg[static_cast<std::size_t>(tail)];
     }
   }
@@ -77,7 +76,7 @@ BroadcastListingStats broadcast_listing(const BroadcastListingArgs& args,
       for (std::size_t x = 0; x < clique.size() && !ok; ++x) {
         for (std::size_t y = x + 1; y < clique.size() && !ok; ++y) {
           const auto eid = base.edge_id(clique[x], clique[y]);
-          if (eid && (*args.require_edge)[static_cast<std::size_t>(*eid)]) {
+          if (eid && (*args.require_edge)[*eid]) {
             ok = true;
           }
         }

@@ -26,6 +26,7 @@
 
 #include "congest/round_ledger.h"
 #include "core/listing_types.h"
+#include "graph/edge_mask.h"
 #include "graph/graph.h"
 
 namespace dcl {
@@ -38,15 +39,15 @@ enum class BroadcastMode {
 struct BroadcastListingArgs {
   const Graph* base = nullptr;
   /// Logical current edge set (nullptr = all edges of base).
-  const std::vector<bool>* current = nullptr;
+  const EdgeMask* current = nullptr;
   /// Orientation bits (away-from-lower-endpoint) — required in out_edges
   /// mode.
-  const std::vector<bool>* away = nullptr;
+  const EdgeMask* away = nullptr;
   int p = 4;
   BroadcastMode mode = BroadcastMode::out_edges;
   /// When set, only cliques containing >= 1 edge with this flag are
   /// reported (the LIST fallback lists only cliques touching Er).
-  const std::vector<bool>* require_edge = nullptr;
+  const EdgeMask* require_edge = nullptr;
   const char* label = "broadcast-listing";
 };
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/intersect.h"
 #include "common/math_util.h"
 #include "enumeration/clique_enumeration.h"
 
@@ -28,8 +29,7 @@ bool multiset_covers(const std::vector<int>& s, int a, int b) {
     const auto lo = std::lower_bound(s.begin(), s.end(), a);
     return lo != s.end() && *lo == a && (lo + 1) != s.end() && *(lo + 1) == a;
   }
-  return std::binary_search(s.begin(), s.end(), a) &&
-         std::binary_search(s.begin(), s.end(), b);
+  return sorted_contains(s, a) && sorted_contains(s, b);
 }
 
 int pair_index(int a, int b, int q) {
@@ -157,7 +157,7 @@ InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
       for (std::size_t x = 0; x < global.size() && !has_goal; ++x) {
         for (std::size_t y = x + 1; y < global.size() && !has_goal; ++y) {
           const auto eid = base.edge_id(global[x], global[y]);
-          if (eid && (*problem.goal_edge)[static_cast<std::size_t>(*eid)]) {
+          if (eid && (*problem.goal_edge)[*eid]) {
             has_goal = true;
           }
         }

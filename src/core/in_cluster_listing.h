@@ -31,6 +31,7 @@
 #include "common/rng.h"
 #include "core/listing_types.h"
 #include "expander/decomposition.h"
+#include "graph/edge_mask.h"
 #include "graph/graph.h"
 
 namespace dcl {
@@ -51,7 +52,7 @@ struct InClusterProblem {
   /// responsibility range and deduplicated.
   const std::vector<std::vector<KnownEdge>>* edges_by_holder = nullptr;
   /// Per base-edge-id goal flag (the Êm edges of this ARB-LIST call).
-  const std::vector<bool>* goal_edge = nullptr;
+  const EdgeMask* goal_edge = nullptr;
   int p = 4;
   InClusterChargeMode charge_mode = InClusterChargeMode::measured;
 };

@@ -16,26 +16,17 @@ namespace {
 
 /// Max out-degree of the current logical edge set under `away`.
 std::int64_t measured_out_degree_bound(const Graph& base,
-                                       const std::vector<bool>& current,
-                                       const std::vector<bool>& away) {
+                                       const EdgeMask& current,
+                                       const EdgeMask& away) {
   std::vector<std::int64_t> outdeg(static_cast<std::size_t>(base.node_count()),
                                    0);
-  for (EdgeId e = 0; e < base.edge_count(); ++e) {
-    if (!current[static_cast<std::size_t>(e)]) continue;
+  current.for_each_set([&](EdgeId e) {
     const Edge& ed = base.edge(e);
-    ++outdeg[static_cast<std::size_t>(away[static_cast<std::size_t>(e)]
-                                          ? ed.u
-                                          : ed.v)];
-  }
+    ++outdeg[static_cast<std::size_t>(away[e] ? ed.u : ed.v)];
+  });
   std::int64_t best = 0;
   for (const auto d : outdeg) best = std::max(best, d);
   return best;
-}
-
-std::int64_t count_set(const std::vector<bool>& mask) {
-  std::int64_t c = 0;
-  for (const bool b : mask) c += b ? 1 : 0;
-  return c;
 }
 
 /// Procedure LIST (Theorem 2.8): iterates ARB-LIST on the edges of
@@ -49,19 +40,17 @@ struct ListOutcome {
 
 ListOutcome run_list_procedure(const Graph& base, const KpConfig& cfg,
                                Rng& rng, RoundLedger& ledger,
-                               ListingOutput& out,
-                               std::vector<bool>& current,
-                               std::vector<bool>& away,
+                               ListingOutput& out, EdgeMask& current,
+                               EdgeMask& away,
                                std::int64_t arboricity_bound,
                                std::int64_t cluster_degree, int list_iteration,
                                std::vector<ArbIterationTrace>& arb_traces) {
   ListOutcome outcome;
-  std::vector<bool> es(static_cast<std::size_t>(base.edge_count()), false);
-  std::vector<bool> er = current;  // Er starts as the whole edge set (§2.3)
+  EdgeMask es(base.edge_count());
+  EdgeMask er = current;  // Er starts as the whole edge set (§2.3)
 
   for (int iter = 0; iter < cfg.max_arb_iterations; ++iter) {
-    const std::int64_t er_size = count_set(er);
-    if (er_size == 0) break;
+    if (er.none()) break;
     ArbListContext ctx;
     ctx.base = &base;
     ctx.ledger = &ledger;
@@ -86,12 +75,7 @@ ListOutcome run_list_procedure(const Graph& base, const KpConfig& cfg,
       // edges on a pathological instance). Fall back to broadcast listing
       // of everything still touching Er — correct, with an honestly charged
       // O(A) cost — and finish this LIST call.
-      std::vector<bool> cur_all(static_cast<std::size_t>(base.edge_count()),
-                                false);
-      for (EdgeId e = 0; e < base.edge_count(); ++e) {
-        cur_all[static_cast<std::size_t>(e)] =
-            es[static_cast<std::size_t>(e)] || er[static_cast<std::size_t>(e)];
-      }
+      const EdgeMask cur_all = es | er;
       BroadcastListingArgs args;
       args.base = &base;
       args.current = &cur_all;
@@ -101,9 +85,7 @@ ListOutcome run_list_procedure(const Graph& base, const KpConfig& cfg,
       args.require_edge = &er;
       args.label = "list-fallback-broadcast";
       broadcast_listing(args, ledger, out);
-      for (EdgeId e = 0; e < base.edge_count(); ++e) {
-        er[static_cast<std::size_t>(e)] = false;
-      }
+      er.fill(false);
       outcome.used_fallback = true;
       log_warn() << "LIST fallback broadcast used at list iteration "
                  << list_iteration;
@@ -112,13 +94,8 @@ ListOutcome run_list_procedure(const Graph& base, const KpConfig& cfg,
   }
   // Anything still in Er after the iteration cap is handled by the same
   // fallback (should not happen with the 1/4 decay; the cap is a backstop).
-  if (count_set(er) > 0) {
-    std::vector<bool> cur_all(static_cast<std::size_t>(base.edge_count()),
-                              false);
-    for (EdgeId e = 0; e < base.edge_count(); ++e) {
-      cur_all[static_cast<std::size_t>(e)] =
-          es[static_cast<std::size_t>(e)] || er[static_cast<std::size_t>(e)];
-    }
+  if (er.any()) {
+    const EdgeMask cur_all = es | er;
     BroadcastListingArgs args;
     args.base = &base;
     args.current = &cur_all;
@@ -149,11 +126,11 @@ KpListResult list_kp_collect(const Graph& g, const KpConfig& cfg,
   Rng rng(cfg.seed);
   // Initial arboricity witness: the degeneracy orientation.
   const Orientation orient = degeneracy_orientation(g);
-  std::vector<bool> away(static_cast<std::size_t>(g.edge_count()));
+  EdgeMask away(g.edge_count());
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
-    away[static_cast<std::size_t>(e)] = orient.away_from_lower(e);
+    away.set(e, orient.away_from_lower(e));
   }
-  std::vector<bool> current(static_cast<std::size_t>(g.edge_count()), true);
+  EdgeMask current(g.edge_count(), true);
   std::int64_t arboricity_bound =
       std::max<std::int64_t>(1, orient.max_out_degree());
 
@@ -171,12 +148,12 @@ KpListResult list_kp_collect(const Graph& g, const KpConfig& cfg,
                                    static_cast<double>(floor_pow(n, stop_exp))));
 
   int list_iteration = 0;
-  while (arboricity_bound > stop_bound && count_set(current) > 0 &&
+  while (arboricity_bound > stop_bound && current.any() &&
          list_iteration < 64) {
     ListIterationTrace trace;
     trace.list_iteration = list_iteration;
     trace.arboricity_bound_before = arboricity_bound;
-    trace.edges_before = count_set(current);
+    trace.edges_before = current.count();
     // Coupling of Section 2.2: n^δ = A / (coupling_scale · log n).
     const std::int64_t cluster_degree = std::max<std::int64_t>(
         1, static_cast<std::int64_t>(
@@ -192,7 +169,7 @@ KpListResult list_kp_collect(const Graph& g, const KpConfig& cfg,
     const std::int64_t new_bound =
         std::max<std::int64_t>(1, measured_out_degree_bound(g, current, away));
     trace.arboricity_bound_after = new_bound;
-    trace.edges_after = count_set(current);
+    trace.edges_after = current.count();
     trace.rounds = result.ledger.total_rounds() - rounds_before;
     result.list_traces.push_back(trace);
     ++list_iteration;

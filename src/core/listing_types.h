@@ -22,11 +22,15 @@ class ListingOutput {
  public:
   explicit ListingOutput(NodeId n) : per_node_reports_(static_cast<std::size_t>(n), 0) {}
 
-  /// Records that `reporter` output `clique` (any vertex order).
+  /// Records that `reporter` output `clique` (any vertex order). For p ≤ 8
+  /// this is allocation-free: the clique is packed straight into the flat
+  /// dedup table.
   void report(NodeId reporter, std::span<const NodeId> clique) {
-    ++per_node_reports_[static_cast<std::size_t>(reporter)];
+    const std::uint64_t reports =
+        ++per_node_reports_[static_cast<std::size_t>(reporter)];
+    max_reports_ = std::max(max_reports_, reports);
     ++total_reports_;
-    unique_.insert(Clique(clique.begin(), clique.end()));
+    unique_.insert(clique);
   }
 
   const CliqueSet& cliques() const { return unique_; }
@@ -40,15 +44,13 @@ class ListingOutput {
   std::uint64_t reports_of(NodeId v) const {
     return per_node_reports_[static_cast<std::size_t>(v)];
   }
-  std::uint64_t max_reports_per_node() const {
-    std::uint64_t best = 0;
-    for (auto r : per_node_reports_) best = std::max(best, r);
-    return best;
-  }
+  /// Maintained incrementally at report time — O(1), not an O(n) rescan.
+  std::uint64_t max_reports_per_node() const { return max_reports_; }
 
  private:
   CliqueSet unique_;
   std::uint64_t total_reports_ = 0;
+  std::uint64_t max_reports_ = 0;
   std::vector<std::uint64_t> per_node_reports_;
 };
 

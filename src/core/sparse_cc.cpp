@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/intersect.h"
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "enumeration/clique_enumeration.h"
@@ -29,8 +30,7 @@ bool multiset_covers(const std::vector<int>& s, int a, int b) {
     const auto lo = std::lower_bound(s.begin(), s.end(), a);
     return lo != s.end() && *lo == a && (lo + 1) != s.end() && *(lo + 1) == a;
   }
-  return std::binary_search(s.begin(), s.end(), a) &&
-         std::binary_search(s.begin(), s.end(), b);
+  return sorted_contains(s, a) && sorted_contains(s, b);
 }
 
 int pair_index(int a, int b, int q) {

@@ -9,9 +9,15 @@
 //  * `count_k_cliques_naive` — direct recursion on sorted adjacency,
 //    no degeneracy machinery (slower; used in tests as a second opinion).
 // Plus Bron–Kerbosch with pivoting for maximal cliques / clique number.
+//
+// The recursions run on the shared sorted-intersection kernels of
+// common/intersect.h with per-depth scratch buffers — the hot path
+// allocates nothing (see docs/PERFORMANCE.md).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -25,29 +31,55 @@ using Clique = std::vector<NodeId>;
 
 /// Canonical set of cliques with value semantics; the comparison target for
 /// listing validation.
+///
+/// Cliques of up to `kPackedMax` vertices — every Kp the paper's algorithms
+/// list (p ≤ 8) — are deduplicated in an open-addressing flat table over
+/// fixed-width packed keys (sorted ids, -1-padded, splitmix-mixed), so the
+/// simulators' per-report hot path does no heap allocation. Larger cliques
+/// (e.g. maximal cliques of dense graphs) spill to a node-based set.
 class CliqueSet {
  public:
+  /// Widest clique stored inline; chosen for the paper's p ≤ 8 regime
+  /// (a packed key is 8 × 32-bit NodeId = one cache line half).
+  static constexpr std::size_t kPackedMax = 8;
+
   CliqueSet() = default;
   explicit CliqueSet(const std::vector<Clique>& cliques) {
     for (const auto& c : cliques) insert(c);
   }
 
   /// Inserts a clique given in any vertex order; returns true if new.
-  bool insert(Clique clique);
-  bool contains(Clique clique) const;
-  std::size_t size() const { return set_.size(); }
-  bool empty() const { return set_.empty(); }
+  bool insert(const Clique& clique);
+  /// Allocation-free insert for cliques of ≤ kPackedMax vertices (any
+  /// order); falls back to the spill set above that width.
+  bool insert(std::span<const NodeId> clique);
+  bool contains(const Clique& clique) const;
+  bool contains(std::span<const NodeId> clique) const;
+  std::size_t size() const { return packed_count_ + overflow_.size(); }
+  bool empty() const { return size() == 0; }
 
   /// Cliques present in `this` but not in `other`.
   std::vector<Clique> difference(const CliqueSet& other) const;
 
-  bool operator==(const CliqueSet& other) const { return set_ == other.set_; }
+  bool operator==(const CliqueSet& other) const;
 
-  std::vector<Clique> to_vector() const {
-    return {set_.begin(), set_.end()};
-  }
+  std::vector<Clique> to_vector() const;
 
  private:
+  /// Sorted node ids padded with kUnused; padding never collides with a
+  /// real id, so key equality is exactly clique equality.
+  using PackedKey = std::array<NodeId, kPackedMax>;
+  static constexpr NodeId kUnused = -1;
+
+  static PackedKey pack(std::span<const NodeId> clique);  // sorts inline
+  static std::uint64_t hash_key(const PackedKey& key);
+
+  bool insert_packed(const PackedKey& key);
+  bool contains_packed(const PackedKey& key) const;
+  void grow();
+  template <typename F>
+  void for_each(F&& fn) const;  // fn(const Clique&)
+
   struct VectorHash {
     std::size_t operator()(const Clique& c) const {
       std::size_t h = 0xcbf29ce484222325ULL;
@@ -58,7 +90,10 @@ class CliqueSet {
       return h;
     }
   };
-  std::unordered_set<Clique, VectorHash> set_;
+
+  std::vector<PackedKey> slots_;  ///< open addressing; key[0]==kUnused = free
+  std::size_t packed_count_ = 0;
+  std::unordered_set<Clique, VectorHash> overflow_;
 };
 
 /// All Kp instances of g, each as a sorted vertex vector. p >= 1.

@@ -77,47 +77,75 @@ DegeneracyResult degeneracy_order(const Graph& g) {
   result.core_number.assign(n, 0);
   if (n == 0) return result;
 
-  // Bucket queue keyed by current degree.
+  // Bucket queue keyed by current degree: intrusive doubly-linked lists
+  // over the nodes, one list per degree. A decrement unlinks the node and
+  // pushes it onto the front of the lower bucket, so each node sits in
+  // exactly one bucket — no stale entries to skip, and the whole working
+  // set is three n-sized arrays. The pop rule (front of the lowest
+  // non-empty bucket = most recently pushed node of minimum degree) is the
+  // LIFO order of the per-bucket-stack formulation, kept bit-identical
+  // because the resulting orientation feeds the Kp pipeline's round
+  // ledger.
   std::vector<NodeId> deg(n);
   NodeId max_deg = 0;
   for (NodeId v = 0; v < g.node_count(); ++v) {
     deg[static_cast<std::size_t>(v)] = g.degree(v);
     max_deg = std::max(max_deg, g.degree(v));
   }
-  std::vector<std::vector<NodeId>> buckets(
-      static_cast<std::size_t>(max_deg) + 1);
-  for (NodeId v = 0; v < g.node_count(); ++v) {
-    buckets[static_cast<std::size_t>(deg[static_cast<std::size_t>(v)])]
-        .push_back(v);
+  // Circular lists with one sentinel per bucket (ids n, n+1, …): every
+  // element always has live prev/next neighbors, so unlink and push-front
+  // are four unconditional stores each — no nil branches in the inner
+  // loop. Bucket b is empty iff its sentinel points at itself.
+  const std::size_t buckets = static_cast<std::size_t>(max_deg) + 1;
+  const auto sentinel = [n](std::size_t b) { return n + b; };
+  std::vector<std::size_t> next(n + buckets);
+  std::vector<std::size_t> prev(n + buckets);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    next[sentinel(b)] = prev[sentinel(b)] = sentinel(b);
   }
-  std::vector<bool> removed(n, false);
+  const auto push_front = [&](std::size_t bucket, std::size_t v) {
+    const std::size_t s = sentinel(bucket);
+    const std::size_t h = next[s];
+    next[v] = h;
+    prev[v] = s;
+    prev[h] = v;
+    next[s] = v;
+  };
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    push_front(static_cast<std::size_t>(deg[static_cast<std::size_t>(v)]),
+               static_cast<std::size_t>(v));
+  }
   NodeId current_core = 0;
   std::size_t cursor = 0;  // lowest possibly non-empty bucket
+  std::vector<NodeId> live;  // branchless-compacted surviving neighbors
+  live.resize(static_cast<std::size_t>(max_deg));
   for (std::size_t peeled = 0; peeled < n; ++peeled) {
-    while (cursor < buckets.size() && buckets[cursor].empty()) ++cursor;
-    // Entries can be stale (degree decreased after insertion); skip them.
-    while (true) {
-      NodeId v = buckets[cursor].back();
-      buckets[cursor].pop_back();
-      const auto vi = static_cast<std::size_t>(v);
-      if (!removed[vi] && deg[vi] == static_cast<NodeId>(cursor)) {
-        current_core = std::max(current_core, static_cast<NodeId>(cursor));
-        result.core_number[vi] = current_core;
-        result.order.push_back(v);
-        removed[vi] = true;
-        for (NodeId w : g.neighbors(v)) {
-          const auto wi = static_cast<std::size_t>(w);
-          if (!removed[wi]) {
-            --deg[wi];
-            buckets[static_cast<std::size_t>(deg[wi])].push_back(w);
-            if (static_cast<std::size_t>(deg[wi]) < cursor) {
-              cursor = static_cast<std::size_t>(deg[wi]);
-            }
-          }
-        }
-        break;
+    while (next[sentinel(cursor)] == sentinel(cursor)) ++cursor;
+    const std::size_t vi = next[sentinel(cursor)];
+    const NodeId v = static_cast<NodeId>(vi);
+    next[sentinel(cursor)] = next[vi];
+    prev[next[vi]] = sentinel(cursor);
+    current_core = std::max(current_core, static_cast<NodeId>(cursor));
+    result.core_number[vi] = current_core;
+    result.order.push_back(v);
+    deg[vi] = -1;
+    // The `still live?` test rejects a data-dependent ~half of the visits;
+    // compacting survivors branchlessly first keeps the mispredict-prone
+    // check out of the pointer-surgery loop.
+    std::size_t k = 0;
+    for (const NodeId w : g.neighbors(v)) {
+      live[k] = w;
+      k += static_cast<std::size_t>(deg[static_cast<std::size_t>(w)] >= 0);
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto wi = static_cast<std::size_t>(live[i]);
+      next[prev[wi]] = next[wi];
+      prev[next[wi]] = prev[wi];
+      --deg[wi];
+      push_front(static_cast<std::size_t>(deg[wi]), wi);
+      if (static_cast<std::size_t>(deg[wi]) < cursor) {
+        cursor = static_cast<std::size_t>(deg[wi]);
       }
-      while (cursor < buckets.size() && buckets[cursor].empty()) ++cursor;
     }
   }
   result.degeneracy = current_core;

@@ -15,18 +15,18 @@ struct ArbHarness {
   RoundLedger ledger;
   KpConfig cfg;
   Rng rng{17};
-  std::vector<bool> es, er, away;
+  EdgeMask es, er, away;
   std::int64_t arboricity_bound = 1;
 
   explicit ArbHarness(Graph graph, int p) : g(std::move(graph)) {
     cfg.p = p;
     const Orientation o = degeneracy_orientation(g);
-    away.resize(static_cast<std::size_t>(g.edge_count()));
+    away.assign(g.edge_count(), false);
     for (EdgeId e = 0; e < g.edge_count(); ++e) {
-      away[static_cast<std::size_t>(e)] = o.away_from_lower(e);
+      away.set(e, o.away_from_lower(e));
     }
-    es.assign(static_cast<std::size_t>(g.edge_count()), false);
-    er.assign(static_cast<std::size_t>(g.edge_count()), true);
+    es.assign(g.edge_count(), false);
+    er.assign(g.edge_count(), true);
     arboricity_bound = std::max<std::int64_t>(1, o.max_out_degree());
   }
 
@@ -46,11 +46,10 @@ struct ArbHarness {
   }
 
   /// Base edge ids removed by the call (goal edges): neither Es nor Er.
-  std::vector<bool> removed_mask() const {
-    std::vector<bool> removed(static_cast<std::size_t>(g.edge_count()), false);
+  EdgeMask removed_mask() const {
+    EdgeMask removed(g.edge_count());
     for (EdgeId e = 0; e < g.edge_count(); ++e) {
-      removed[static_cast<std::size_t>(e)] =
-          !es[static_cast<std::size_t>(e)] && !er[static_cast<std::size_t>(e)];
+      removed.set(e, !es[e] && !er[e]);
     }
     return removed;
   }
@@ -69,7 +68,7 @@ void expect_goal_coverage(const ArbHarness& h, const ListingOutput& out,
     for (std::size_t x = 0; x < clique.size() && !has_goal; ++x) {
       for (std::size_t y = x + 1; y < clique.size() && !has_goal; ++y) {
         const auto eid = h.g.edge_id(clique[x], clique[y]);
-        if (eid && removed[static_cast<std::size_t>(*eid)]) has_goal = true;
+        if (eid && removed[*eid]) has_goal = true;
       }
     }
     if (has_goal) {
@@ -125,7 +124,7 @@ TEST(ArbList, K4FastModeCoverage) {
 TEST(ArbList, EmptyErIsNoOp) {
   Rng gen(5);
   ArbHarness h(erdos_renyi_gnm(30, 100, gen), 4);
-  std::fill(h.er.begin(), h.er.end(), false);
+  h.er.fill(false);
   ListingOutput out(h.g.node_count());
   const auto trace = h.step(out, 4);
   EXPECT_EQ(trace.er_before, 0);
@@ -156,12 +155,10 @@ TEST(ArbList, EsOrientationStaysBounded) {
   // call from Es = ∅, so the witness must be ≤ n^δ).
   std::vector<std::int64_t> outdeg(static_cast<std::size_t>(h.g.node_count()),
                                    0);
-  for (EdgeId e = 0; e < h.g.edge_count(); ++e) {
-    if (!h.es[static_cast<std::size_t>(e)]) continue;
+  h.es.for_each_set([&](EdgeId e) {
     const Edge& ed = h.g.edge(e);
-    ++outdeg[static_cast<std::size_t>(
-        h.away[static_cast<std::size_t>(e)] ? ed.u : ed.v)];
-  }
+    ++outdeg[static_cast<std::size_t>(h.away[e] ? ed.u : ed.v)];
+  });
   for (const auto d : outdeg) EXPECT_LE(d, cluster_degree);
 }
 

@@ -11,11 +11,11 @@
 namespace dcl {
 namespace {
 
-std::vector<bool> away_bits(const Graph& g) {
+EdgeMask away_bits(const Graph& g) {
   const Orientation o = degeneracy_orientation(g);
-  std::vector<bool> away(static_cast<std::size_t>(g.edge_count()));
+  EdgeMask away(g.edge_count());
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
-    away[static_cast<std::size_t>(e)] = o.away_from_lower(e);
+    away.set(e, o.away_from_lower(e));
   }
   return away;
 }
@@ -74,10 +74,10 @@ TEST(BroadcastListing, CurrentMaskRestrictsGraph) {
   // Keep only a triangle out of K5; only that triangle's K3 remains.
   const Graph g = complete_graph(5);
   const auto away = away_bits(g);
-  std::vector<bool> current(static_cast<std::size_t>(g.edge_count()), false);
-  current[static_cast<std::size_t>(*g.edge_id(0, 1))] = true;
-  current[static_cast<std::size_t>(*g.edge_id(1, 2))] = true;
-  current[static_cast<std::size_t>(*g.edge_id(0, 2))] = true;
+  EdgeMask current(g.edge_count());
+  current.set(*g.edge_id(0, 1));
+  current.set(*g.edge_id(1, 2));
+  current.set(*g.edge_id(0, 2));
   RoundLedger ledger;
   ListingOutput out(g.node_count());
   BroadcastListingArgs args;
@@ -95,8 +95,8 @@ TEST(BroadcastListing, RequireEdgeFilter) {
   // through that edge are reported.
   const Graph g = complete_graph(5);
   const auto away = away_bits(g);
-  std::vector<bool> require(static_cast<std::size_t>(g.edge_count()), false);
-  require[static_cast<std::size_t>(*g.edge_id(0, 1))] = true;
+  EdgeMask require(g.edge_count());
+  require.set(*g.edge_id(0, 1));
   RoundLedger ledger;
   ListingOutput out(g.node_count());
   BroadcastListingArgs args;

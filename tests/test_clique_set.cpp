@@ -1,0 +1,99 @@
+// Packed CliqueSet vs an unordered_set<vector> oracle under duplicate and
+// permuted-order inserts, across widths that cross the packed/overflow
+// boundary (kPackedMax = 8) and table growth.
+#include "enumeration/clique_enumeration.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dcl {
+namespace {
+
+Clique random_clique(Rng& rng, std::size_t size, NodeId universe) {
+  std::set<NodeId> s;
+  while (s.size() < size) {
+    s.insert(static_cast<NodeId>(
+        rng.next_below(static_cast<std::uint64_t>(universe))));
+  }
+  return {s.begin(), s.end()};
+}
+
+Clique shuffled(Clique c, Rng& rng) {
+  for (std::size_t i = c.size(); i > 1; --i) {
+    std::swap(c[i - 1], c[static_cast<std::size_t>(rng.next_below(i))]);
+  }
+  return c;
+}
+
+TEST(CliqueSetPacked, RandomizedAgainstSetOracle) {
+  Rng rng(1);
+  CliqueSet set;
+  std::set<Clique> oracle;
+  for (int op = 0; op < 5000; ++op) {
+    // Sizes 1..10 cross the packed/overflow boundary; a small universe
+    // forces frequent duplicates.
+    const std::size_t size = 1 + rng.next_below(10);
+    Clique c = random_clique(rng, size, 24);
+    const Clique permuted = shuffled(c, rng);
+    const bool fresh_expected = oracle.insert(c).second;
+    EXPECT_EQ(set.insert(permuted), fresh_expected) << "op " << op;
+    EXPECT_EQ(set.size(), oracle.size());
+  }
+  // Every oracle element is found (again under permutation), and
+  // to_vector() round-trips the exact same set.
+  for (const Clique& c : oracle) {
+    EXPECT_TRUE(set.contains(shuffled(c, rng)));
+  }
+  auto listed = set.to_vector();
+  std::sort(listed.begin(), listed.end());
+  EXPECT_TRUE(std::equal(listed.begin(), listed.end(), oracle.begin(),
+                         oracle.end()));
+}
+
+TEST(CliqueSetPacked, GrowthKeepsAllElements) {
+  // Push well past several doublings of the initial table.
+  CliqueSet set;
+  constexpr NodeId kCount = 20000;
+  for (NodeId i = 0; i < kCount; ++i) {
+    EXPECT_TRUE(set.insert({i, i + 100000, i + 200000}));
+  }
+  EXPECT_EQ(set.size(), static_cast<std::size_t>(kCount));
+  for (NodeId i = 0; i < kCount; ++i) {
+    // Membership probes in reversed vertex order.
+    EXPECT_TRUE(set.contains({i + 200000, i + 100000, i}));
+  }
+  EXPECT_FALSE(set.contains({kCount, kCount + 100000, kCount + 200000}));
+}
+
+TEST(CliqueSetPacked, DifferenceAndEqualityAcrossRepresentations) {
+  // Same logical set built in different insert orders (and with
+  // duplicates) must compare equal; difference must be exact.
+  Rng rng(2);
+  std::vector<Clique> cliques;
+  for (int i = 0; i < 200; ++i) {
+    cliques.push_back(random_clique(rng, 1 + rng.next_below(9), 64));
+  }
+  CliqueSet forward, backward;
+  for (const auto& c : cliques) forward.insert(shuffled(c, rng));
+  for (auto it = cliques.rbegin(); it != cliques.rend(); ++it) {
+    backward.insert(*it);
+    backward.insert(shuffled(*it, rng));  // duplicate, permuted
+  }
+  EXPECT_TRUE(forward == backward);
+  EXPECT_TRUE(forward.difference(backward).empty());
+
+  backward.insert({1000, 1001, 1002, 1003, 1004, 1005, 1006, 1007, 1008});
+  EXPECT_FALSE(forward == backward);
+  const auto extra = backward.difference(forward);
+  ASSERT_EQ(extra.size(), 1u);
+  EXPECT_EQ(extra[0].size(), 9u);
+  EXPECT_TRUE(forward.difference(backward).empty());
+}
+
+}  // namespace
+}  // namespace dcl

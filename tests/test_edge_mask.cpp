@@ -1,0 +1,122 @@
+// EdgeMask vs std::vector<bool> reference semantics: randomized single-bit
+// ops, bulk set algebra, popcount, and set-bit iteration, across sizes that
+// exercise partial tail words, exact word boundaries, and empty masks.
+#include "graph/edge_mask.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dcl {
+namespace {
+
+std::int64_t ref_count(const std::vector<bool>& v) {
+  std::int64_t c = 0;
+  for (const bool b : v) c += b ? 1 : 0;
+  return c;
+}
+
+void expect_equals_reference(const EdgeMask& mask,
+                             const std::vector<bool>& ref) {
+  ASSERT_EQ(mask.size(), static_cast<std::int64_t>(ref.size()));
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(mask[static_cast<std::int64_t>(i)], ref[i]) << "bit " << i;
+  }
+  EXPECT_EQ(mask.count(), ref_count(ref));
+}
+
+TEST(EdgeMask, RandomizedSetResetAgainstReference) {
+  for (const std::int64_t n : {0, 1, 63, 64, 65, 128, 1000}) {
+    Rng rng(static_cast<std::uint64_t>(n) + 1);
+    EdgeMask mask(n);
+    std::vector<bool> ref(static_cast<std::size_t>(n), false);
+    for (int op = 0; op < 400 && n > 0; ++op) {
+      const auto i = static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(n)));
+      const bool value = rng.next_below(2) == 0;
+      mask.set(i, value);
+      ref[static_cast<std::size_t>(i)] = value;
+    }
+    expect_equals_reference(mask, ref);
+  }
+}
+
+TEST(EdgeMask, ConstructFilledAndFill) {
+  EdgeMask mask(130, true);
+  EXPECT_EQ(mask.count(), 130);  // tail bits past size() must not count
+  EXPECT_TRUE(mask.any());
+  mask.fill(false);
+  EXPECT_EQ(mask.count(), 0);
+  EXPECT_TRUE(mask.none());
+  mask.fill(true);
+  EXPECT_EQ(mask.count(), 130);
+}
+
+TEST(EdgeMask, BulkOpsMatchReference) {
+  const std::int64_t n = 517;  // partial tail word
+  Rng rng(7);
+  EdgeMask a(n), b(n);
+  std::vector<bool> ra(static_cast<std::size_t>(n)), rb(ra);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const bool ba = rng.next_below(2) == 0;
+    const bool bb = rng.next_below(2) == 0;
+    a.set(i, ba);
+    b.set(i, bb);
+    ra[static_cast<std::size_t>(i)] = ba;
+    rb[static_cast<std::size_t>(i)] = bb;
+  }
+
+  const EdgeMask u = a | b;
+  const EdgeMask inter = a & b;
+  EdgeMask diff = a;
+  diff.and_not(b);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_EQ(u[i], ra[idx] || rb[idx]);
+    EXPECT_EQ(inter[i], ra[idx] && rb[idx]);
+    EXPECT_EQ(diff[i], ra[idx] && !rb[idx]);
+  }
+}
+
+TEST(EdgeMask, ForEachSetVisitsExactlySetBitsInOrder) {
+  const std::int64_t n = 300;
+  Rng rng(9);
+  EdgeMask mask(n);
+  std::vector<std::int64_t> expected;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (rng.next_below(4) == 0) {
+      mask.set(i);
+      expected.push_back(i);
+    }
+  }
+  std::vector<std::int64_t> visited;
+  mask.for_each_set([&](std::int64_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(EdgeMask, EqualityAndAssign) {
+  EdgeMask a(70), b(70);
+  EXPECT_TRUE(a == b);
+  a.set(69);
+  EXPECT_FALSE(a == b);
+  b.set(69);
+  EXPECT_TRUE(a == b);
+  a.assign(10, true);
+  EXPECT_EQ(a.size(), 10);
+  EXPECT_EQ(a.count(), 10);
+}
+
+TEST(EdgeMask, EmptyMask) {
+  EdgeMask mask;
+  EXPECT_EQ(mask.size(), 0);
+  EXPECT_EQ(mask.count(), 0);
+  EXPECT_TRUE(mask.none());
+  int visits = 0;
+  mask.for_each_set([&](std::int64_t) { ++visits; });
+  EXPECT_EQ(visits, 0);
+}
+
+}  // namespace
+}  // namespace dcl

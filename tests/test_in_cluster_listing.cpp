@@ -16,7 +16,7 @@ struct Scenario {
   Graph g;
   Cluster cluster;
   std::vector<std::vector<KnownEdge>> holders;
-  std::vector<bool> goal;
+  EdgeMask goal;
 
   explicit Scenario(Graph graph) : g(std::move(graph)) {
     cluster.id = 0;
@@ -31,7 +31,7 @@ struct Scenario {
       holders[static_cast<std::size_t>(idx)].push_back(
           KnownEdge{tail, o.head(e)});
     }
-    goal.assign(static_cast<std::size_t>(g.edge_count()), true);
+    goal.assign(g.edge_count(), true);
   }
 
   InClusterProblem problem(int p, InClusterChargeMode mode =
@@ -70,8 +70,8 @@ TEST(InClusterListing, ListsAllCliquesOfRandomGraph) {
 
 TEST(InClusterListing, GoalEdgeFilterRestrictsOutput) {
   Scenario s(complete_graph(6));
-  std::fill(s.goal.begin(), s.goal.end(), false);
-  s.goal[static_cast<std::size_t>(*s.g.edge_id(0, 1))] = true;
+  s.goal.fill(false);
+  s.goal.set(*s.g.edge_id(0, 1));
   Rng rng(4);
   ListingOutput out(s.g.node_count());
   in_cluster_list(s.problem(3), rng, out);
@@ -85,7 +85,7 @@ TEST(InClusterListing, GoalEdgeFilterRestrictsOutput) {
 
 TEST(InClusterListing, NoGoalEdgesNoOutput) {
   Scenario s(complete_graph(6));
-  std::fill(s.goal.begin(), s.goal.end(), false);
+  s.goal.fill(false);
   Rng rng(5);
   ListingOutput out(s.g.node_count());
   const auto cost = in_cluster_list(s.problem(3), rng, out);

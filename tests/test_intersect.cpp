@@ -1,0 +1,110 @@
+// Randomized differential tests of the common/intersect.h kernels against
+// std::set_intersection — the oracle the kernels replaced. Covers the
+// branchless-merge regime (similar sizes), the galloping regime (skewed
+// sizes past kGallopSkew), empty inputs, and disjoint/identical extremes.
+#include "common/intersect.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dcl {
+namespace {
+
+std::vector<NodeId> random_sorted_list(Rng& rng, std::size_t size,
+                                       NodeId universe) {
+  std::set<NodeId> s;
+  while (s.size() < size) {
+    s.insert(static_cast<NodeId>(rng.next_below(
+        static_cast<std::uint64_t>(universe))));
+  }
+  return {s.begin(), s.end()};
+}
+
+std::vector<NodeId> oracle(const std::vector<NodeId>& a,
+                           const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+void expect_matches_oracle(const std::vector<NodeId>& a,
+                           const std::vector<NodeId>& b) {
+  const auto expected = oracle(a, b);
+  EXPECT_EQ(intersect_count(a, b), expected.size());
+  EXPECT_EQ(intersect_count(b, a), expected.size());
+  std::vector<NodeId> got;
+  intersect_into(a, b, got);
+  EXPECT_EQ(got, expected);
+  intersect_into(b, a, got);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Intersect, RandomizedSimilarSizes) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto na = rng.next_below(64);
+    const auto nb = rng.next_below(64);
+    const auto a = random_sorted_list(rng, na, 120);
+    const auto b = random_sorted_list(rng, nb, 120);
+    expect_matches_oracle(a, b);
+  }
+}
+
+TEST(Intersect, RandomizedSkewedSizes) {
+  // One side far past the galloping threshold of the other.
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto small = random_sorted_list(rng, 1 + rng.next_below(8), 40000);
+    const auto large =
+        random_sorted_list(rng, 2000 + rng.next_below(2000), 40000);
+    expect_matches_oracle(small, large);
+  }
+}
+
+TEST(Intersect, EmptyInputs) {
+  const std::vector<NodeId> empty;
+  const std::vector<NodeId> some{1, 5, 9};
+  expect_matches_oracle(empty, empty);
+  expect_matches_oracle(empty, some);
+  std::vector<NodeId> out{7, 7, 7};  // must be cleared, not appended to
+  intersect_into(empty, some, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Intersect, IdenticalAndDisjoint) {
+  Rng rng(3);
+  const auto a = random_sorted_list(rng, 100, 500);
+  expect_matches_oracle(a, a);
+  std::vector<NodeId> shifted;
+  for (const NodeId v : a) shifted.push_back(v + 1000);
+  expect_matches_oracle(a, shifted);
+}
+
+TEST(Intersect, InterleavedRuns) {
+  // Long runs from one list between consecutive elements of the other —
+  // the worst case for galloping restart positions.
+  std::vector<NodeId> sparse, dense;
+  for (NodeId i = 0; i < 2000; ++i) dense.push_back(i);
+  for (NodeId i = 0; i < 2000; i += 400) sparse.push_back(i);
+  expect_matches_oracle(sparse, dense);
+}
+
+TEST(SortedContains, MatchesBinarySearch) {
+  Rng rng(4);
+  const auto a = random_sorted_list(rng, 300, 1000);
+  for (NodeId probe = 0; probe < 1000; ++probe) {
+    EXPECT_EQ(sorted_contains(a, probe),
+              std::binary_search(a.begin(), a.end(), probe))
+        << "probe=" << probe;
+  }
+  EXPECT_FALSE(sorted_contains({}, 3));
+}
+
+}  // namespace
+}  // namespace dcl

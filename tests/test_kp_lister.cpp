@@ -27,46 +27,8 @@ void expect_exact(const Graph& g, const KpConfig& cfg) {
   EXPECT_GE(result.total_reports, result.unique_cliques);
 }
 
-// ---- End-to-end parameter sweep -----------------------------------------
-
-class KpListerSweep
-    : public ::testing::TestWithParam<std::tuple<int, int, double, int>> {};
-
-TEST_P(KpListerSweep, ExactListing) {
-  const auto [n, p, density, seed] = GetParam();
-  Rng rng(static_cast<std::uint64_t>(seed) * 1000 + 7);
-  const Graph g = erdos_renyi_gnp(static_cast<NodeId>(n), density, rng);
-  KpConfig cfg;
-  cfg.p = p;
-  cfg.seed = static_cast<std::uint64_t>(seed);
-  expect_exact(g, cfg);
-}
-
-INSTANTIATE_TEST_SUITE_P(
-    Grid, KpListerSweep,
-    ::testing::Combine(::testing::Values(48, 96, 140),
-                       ::testing::Values(3, 4, 5, 6, 7),
-                       ::testing::Values(0.08, 0.2, 0.4),
-                       ::testing::Values(1, 2)));
-
-class K4FastSweep : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
-
-TEST_P(K4FastSweep, ExactListing) {
-  const auto [n, density, seed] = GetParam();
-  Rng rng(static_cast<std::uint64_t>(seed) * 977 + 3);
-  const Graph g = erdos_renyi_gnp(static_cast<NodeId>(n), density, rng);
-  KpConfig cfg;
-  cfg.p = 4;
-  cfg.k4_fast = true;
-  cfg.seed = static_cast<std::uint64_t>(seed);
-  expect_exact(g, cfg);
-}
-
-INSTANTIATE_TEST_SUITE_P(
-    Grid, K4FastSweep,
-    ::testing::Combine(::testing::Values(60, 120, 160),
-                       ::testing::Values(0.1, 0.25, 0.45),
-                       ::testing::Values(1, 2, 3)));
+// The end-to-end parameter sweeps (KpListerSweep / K4FastSweep) live in
+// test_kp_lister_sweep.cpp, labeled `slow` — run `ctest -LE slow` to skip.
 
 // ---- Adversarial / closed-form graphs ------------------------------------
 

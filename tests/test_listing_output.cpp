@@ -52,6 +52,26 @@ TEST(ListingOutput, UnionSemanticsUnderMaximalDuplication) {
   for (NodeId v = 0; v < n; ++v) EXPECT_EQ(out.reports_of(v), 1u);
 }
 
+TEST(ListingOutput, MaxReportsTracksRunningMaximum) {
+  // max_reports_per_node is maintained at report time, not rescanned;
+  // interleave reporters so the maximum moves between nodes.
+  ListingOutput out(3);
+  const NodeId a[] = {0, 1, 2};
+  const NodeId b[] = {1, 2, 3};
+  const NodeId c[] = {0, 2, 3};
+  out.report(1, a);
+  EXPECT_EQ(out.max_reports_per_node(), 1u);
+  out.report(2, a);
+  out.report(2, b);
+  EXPECT_EQ(out.max_reports_per_node(), 2u);
+  out.report(0, a);
+  out.report(0, b);
+  out.report(0, c);
+  EXPECT_EQ(out.max_reports_per_node(), 3u);
+  EXPECT_EQ(out.unique_count(), 3u);
+  EXPECT_EQ(out.total_reports(), 6u);
+}
+
 TEST(KpConfigDefaults, MatchPaperStructure) {
   const KpConfig cfg;
   EXPECT_EQ(cfg.p, 4);

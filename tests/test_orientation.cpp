@@ -51,6 +51,84 @@ TEST(DegeneracyOrder, EveryNodeHasFewLaterNeighbors) {
   }
 }
 
+/// Reference copy of the historical per-bucket-stack peel (LIFO with lazy
+/// deletion of stale entries). The production implementation was rewritten
+/// around intrusive bucket lists for speed, but its pop order — and
+/// therefore the orientation the Kp pipeline's round ledger is built on —
+/// must stay bit-identical to this rule.
+DegeneracyResult reference_degeneracy_order(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  DegeneracyResult result;
+  result.order.reserve(n);
+  result.core_number.assign(n, 0);
+  if (n == 0) return result;
+  std::vector<NodeId> deg(n);
+  NodeId max_deg = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    deg[static_cast<std::size_t>(v)] = g.degree(v);
+    max_deg = std::max(max_deg, g.degree(v));
+  }
+  struct Entry {
+    NodeId node;
+    std::int32_t next;
+  };
+  std::vector<Entry> arena;
+  std::vector<std::int32_t> head(static_cast<std::size_t>(max_deg) + 1, -1);
+  const auto push = [&](std::size_t bucket, NodeId v) {
+    arena.push_back(Entry{v, head[bucket]});
+    head[bucket] = static_cast<std::int32_t>(arena.size()) - 1;
+  };
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    push(static_cast<std::size_t>(deg[static_cast<std::size_t>(v)]), v);
+  }
+  NodeId current_core = 0;
+  std::size_t cursor = 0;
+  for (std::size_t peeled = 0; peeled < n; ++peeled) {
+    while (cursor < head.size() && head[cursor] < 0) ++cursor;
+    while (true) {
+      const NodeId v = arena[static_cast<std::size_t>(head[cursor])].node;
+      head[cursor] = arena[static_cast<std::size_t>(head[cursor])].next;
+      const auto vi = static_cast<std::size_t>(v);
+      if (deg[vi] == static_cast<NodeId>(cursor)) {
+        current_core = std::max(current_core, static_cast<NodeId>(cursor));
+        result.core_number[vi] = current_core;
+        result.order.push_back(v);
+        deg[vi] = -1;
+        for (NodeId w : g.neighbors(v)) {
+          const auto wi = static_cast<std::size_t>(w);
+          if (deg[wi] >= 0) {
+            --deg[wi];
+            push(static_cast<std::size_t>(deg[wi]), w);
+            if (static_cast<std::size_t>(deg[wi]) < cursor) {
+              cursor = static_cast<std::size_t>(deg[wi]);
+            }
+          }
+        }
+        break;
+      }
+      while (cursor < head.size() && head[cursor] < 0) ++cursor;
+    }
+  }
+  result.degeneracy = current_core;
+  return result;
+}
+
+TEST(DegeneracyOrder, MatchesHistoricalPopOrderExactly) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto n = static_cast<NodeId>(2 + rng.next_below(90));
+    const auto max_m =
+        static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n - 1) / 2;
+    const auto m = static_cast<std::int64_t>(rng.next_below(max_m + 1));
+    const Graph g = erdos_renyi_gnm(n, m, rng);
+    const auto got = degeneracy_order(g);
+    const auto want = reference_degeneracy_order(g);
+    ASSERT_EQ(got.order, want.order) << "n=" << n << " m=" << m;
+    ASSERT_EQ(got.core_number, want.core_number);
+    ASSERT_EQ(got.degeneracy, want.degeneracy);
+  }
+}
+
 TEST(DegeneracyOrder, CoreNumbersMonotone) {
   Rng rng(3);
   const Graph g = erdos_renyi_gnm(60, 300, rng);

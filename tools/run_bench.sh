@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Self-timed perf baseline: builds Release and runs bench_core, writing the
+# JSON snapshot every perf PR diffs against (see docs/PERFORMANCE.md).
+#
+# Usage:
+#   tools/run_bench.sh                      # writes BENCH_core.json
+#   tools/run_bench.sh -o /tmp/run.json     # alternative output path
+#   DCL_BENCH_REPS=1 DCL_BENCH_MIN_MS=5 tools/run_bench.sh   # CI smoke
+#
+# Honours BUILD_DIR, CMAKE_ARGS, and JOBS like tools/run_tier1.sh. The
+# timing-loop knobs DCL_BENCH_REPS / DCL_BENCH_MIN_MS are forwarded to the
+# harness (defaults: 5 repetitions, 150 ms minimum per repetition).
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-build-bench}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)}"
+OUT="${REPO_ROOT}/BENCH_core.json"
+
+while getopts "o:" opt; do
+  case "${opt}" in
+    o) OUT="${OPTARG}" ;;
+    *) echo "usage: $0 [-o output.json]" >&2; exit 2 ;;
+  esac
+done
+
+case "${BUILD_DIR}" in
+  /*) ;;
+  *) BUILD_DIR="${REPO_ROOT}/${BUILD_DIR}" ;;
+esac
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release \
+  -DDCL_BUILD_TESTS=OFF -DDCL_BUILD_EXAMPLES=OFF ${CMAKE_ARGS:-}
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_core
+
+"${BUILD_DIR}/bench_core" --out "${OUT}"
+echo "wrote ${OUT}"
