@@ -12,12 +12,111 @@
 #include <cstring>
 
 #include "bench_util.h"
+#include "congest/clique_network.h"
+#include "congest/congest_network.h"
+#include "congest/engine.h"
 #include "core/kp_lister.h"
 #include "enumeration/clique_enumeration.h"
 #include "graph/generators.h"
 
 namespace dcl::bench {
 namespace {
+
+/// BFS flood for the engine benchmark: every node re-floods once on first
+/// contact — the canonical round-driven traffic pattern.
+class FloodProgram : public NodeProgram {
+ public:
+  explicit FloodProgram(NodeId self) : self_(self) {}
+  void on_start(RoundApi& api) override {
+    if (self_ == 0) {
+      heard_ = true;
+      for (const NodeId w : api.graph().neighbors(self_)) {
+        api.send(w, Message{.tag = 1});
+      }
+    }
+  }
+  bool on_round(RoundApi& api, std::span<const Delivery> received) override {
+    if (heard_ || received.empty()) return false;
+    heard_ = true;
+    for (const NodeId w : api.graph().neighbors(self_)) {
+      api.send(w, Message{.tag = 1});
+    }
+    return true;
+  }
+
+ private:
+  NodeId self_;
+  bool heard_ = false;
+};
+
+/// Message-plane benchmarks: the same fixed traffic patterns as
+/// bench_m3_simulator, recorded here so the end-to-end perf anchor tracks
+/// the simulators too. The per-phase round cost and the engine ledger
+/// totals are fixed-seed fingerprints.
+void simulator_benchmarks(BenchReport& report) {
+  {
+    Rng rng(1);
+    const Graph g = erdos_renyi_gnm(1024, 16384, rng);
+    CongestNetwork net(g);
+    std::int64_t phase_rounds = 0;
+    auto& t = report.add(time_kernel(
+        "sim_congest_phase/n1024_m16384",
+        [&] {
+          net.begin_phase("bench");
+          for (NodeId v = 0; v < g.node_count(); ++v) {
+            for (const NodeId w : g.neighbors(v)) {
+              net.send(v, w, Message{.tag = 1, .a = v, .b = w});
+            }
+          }
+          phase_rounds = net.end_phase();
+          return static_cast<std::uint64_t>(phase_rounds);
+        },
+        static_cast<double>(2 * g.edge_count())));
+    t.counters.emplace_back("phase_rounds",
+                            static_cast<double>(phase_rounds));
+  }
+  {
+    CliqueNetwork net(256, CliqueRoutingMode::lenzen);
+    std::int64_t phase_rounds = 0;
+    auto& t = report.add(time_kernel(
+        "sim_clique_lenzen/n256_20k",
+        [&] {
+          Rng rng(2);
+          net.begin_phase("bench");
+          for (int i = 0; i < 20000; ++i) {
+            const auto a = static_cast<NodeId>(rng.next_below(256));
+            auto b = static_cast<NodeId>(rng.next_below(255));
+            if (b >= a) ++b;
+            net.send(a, b, Message{.tag = i});
+          }
+          phase_rounds = net.end_phase();
+          return static_cast<std::uint64_t>(phase_rounds);
+        },
+        20000.0));
+    t.counters.emplace_back("phase_rounds",
+                            static_cast<double>(phase_rounds));
+  }
+  {
+    Rng rng(3);
+    const Graph g = erdos_renyi_gnm(512, 5120, rng);
+    double ledger_rounds = 0.0;
+    double ledger_msgs = 0.0;
+    auto& t = report.add(time_kernel(
+        "sim_engine_bfs/er_n512_m5120",
+        [&] {
+          CongestEngine engine(g, [](NodeId v) {
+            return std::make_unique<FloodProgram>(v);
+          });
+          const auto rounds = engine.run();
+          ledger_rounds = engine.ledger().total_rounds();
+          ledger_msgs = static_cast<double>(engine.ledger().total_messages());
+          return static_cast<std::uint64_t>(rounds);
+        },
+        static_cast<double>(2 * g.edge_count())));
+    t.counters.emplace_back("ledger_total_rounds", ledger_rounds);
+    t.counters.emplace_back("ledger_total_messages", ledger_msgs);
+  }
+}
 
 void enumeration_benchmarks(BenchReport& report, const char* input_name,
                             const Graph& g) {
@@ -80,6 +179,8 @@ int run(const char* out_path) {
   Rng kp5_rng(4);
   const Graph kp5_input = erdos_renyi_gnm(120, 2200, kp5_rng);
   list_kp_benchmark(report, "er_n120_m2200", kp5_input, 5);
+
+  simulator_benchmarks(report);
 
   return finish_report(report, out_path);
 }

@@ -75,6 +75,15 @@ struct TimingConfig {
   }
 };
 
+/// DCL_BENCH_FILTER=substr restricts the timing loops to benchmarks whose
+/// name contains the substring (A/B reruns of one hot entry without paying
+/// for the whole suite). Filtered-out benchmarks are skipped (zero
+/// iterations) and dropped from the table and the JSON snapshot.
+inline bool bench_name_selected(const std::string& name) {
+  const char* filter = std::getenv("DCL_BENCH_FILTER");
+  return filter == nullptr || name.find(filter) != std::string::npos;
+}
+
 /// Times `fn` (which must return a std::uint64_t result that depends on the
 /// work done): calibrates an iteration count so one repetition takes at
 /// least `cfg.min_rep_seconds`, then reports the fastest repetition.
@@ -83,6 +92,11 @@ template <typename F>
 Timing time_kernel(std::string name, F&& fn, double items_per_iter = 0.0,
                    TimingConfig cfg = TimingConfig::from_env()) {
   using clock = std::chrono::steady_clock;
+  if (!bench_name_selected(name)) {
+    Timing skipped;
+    skipped.name = std::move(name);
+    return skipped;  // iterations == 0 marks it as filtered out
+  }
   const auto run_iters = [&](std::int64_t iters) {
     const auto start = clock::now();
     for (std::int64_t i = 0; i < iters; ++i) keep(fn());
@@ -132,6 +146,7 @@ class BenchReport {
   void print() const {
     std::printf("%-44s %14s %14s\n", "benchmark", "ns/op", "items/s");
     for (const Timing& t : timings_) {
+      if (t.iterations == 0) continue;  // filtered out via DCL_BENCH_FILTER
       std::printf("%-44s %14.1f %14.3g\n", t.name.c_str(), t.ns_per_op,
                   t.items_per_sec);
       for (const auto& [k, v] : t.counters) {
@@ -146,10 +161,14 @@ class BenchReport {
     std::FILE* f = (std::strcmp(path, "-") == 0) ? stdout
                                                  : std::fopen(path, "w");
     if (f == nullptr) return false;
+    std::vector<std::size_t> selected;
+    for (std::size_t i = 0; i < timings_.size(); ++i) {
+      if (timings_[i].iterations > 0) selected.push_back(i);
+    }
     std::fprintf(f, "{\n  \"harness\": \"%s\",\n  \"benchmarks\": [\n",
                  harness_.c_str());
-    for (std::size_t i = 0; i < timings_.size(); ++i) {
-      const Timing& t = timings_[i];
+    for (std::size_t s = 0; s < selected.size(); ++s) {
+      const Timing& t = timings_[selected[s]];
       std::fprintf(f,
                    "    {\"name\": \"%s\", \"ns_per_op\": %.6g, "
                    "\"items_per_sec\": %.6g, \"iterations\": %lld, "
@@ -164,7 +183,7 @@ class BenchReport {
         }
         std::fprintf(f, "}");
       }
-      std::fprintf(f, "}%s\n", (i + 1 < timings_.size()) ? "," : "");
+      std::fprintf(f, "}%s\n", (s + 1 < selected.size()) ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     if (f != stdout) std::fclose(f);

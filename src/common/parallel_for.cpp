@@ -1,0 +1,155 @@
+#include "common/parallel_for.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dcl {
+
+namespace {
+
+int env_threads() {
+  if (const char* s = std::getenv("DCL_THREADS")) {
+    const int t = std::atoi(s);
+    if (t >= 1) return std::min(t, 256);
+  }
+  return 1;
+}
+
+std::atomic<int> g_shard_threads{0};  // 0 = not yet initialized from env
+
+/// One dispatched parallel region. Each run gets its own atomics so a
+/// worker waking up late on a finished task can never steal shards from
+/// the next one.
+struct Task {
+  const std::function<void(int)>* body = nullptr;
+  int shard_count = 0;
+  std::atomic<int> next{0};
+  std::atomic<int> completed{0};
+  std::exception_ptr error;  // first shard exception (guarded by pool mutex)
+};
+
+/// Persistent worker pool. Workers are spawned lazily on the first
+/// multi-shard region and then sleep on a condition variable between
+/// regions; the calling thread always participates in draining shards, so
+/// a pool of k-1 workers executes k-way regions.
+class WorkerPool {
+ public:
+  static WorkerPool& instance() {
+    static WorkerPool pool;
+    return pool;
+  }
+
+  void run(int shards, const std::function<void(int)>& body) {
+    auto task = std::make_shared<Task>();
+    task->body = &body;
+    task->shard_count = shards;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ensure_workers(shards - 1);
+      task_ = task;
+      ++generation_;
+      cv_work_.notify_all();
+    }
+    drain(*task);
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] {
+      return task->completed.load(std::memory_order_acquire) ==
+             task->shard_count;
+    });
+    if (task_ == task) task_.reset();
+    if (task->error) std::rethrow_exception(task->error);
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+ private:
+  WorkerPool() = default;
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+      cv_work_.notify_all();
+    }
+    for (std::thread& t : workers_) t.join();
+  }
+
+  void ensure_workers(int needed) {  // callers hold mu_
+    while (static_cast<int>(workers_.size()) < needed) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Start behind every generation: a worker spawned mid-region must
+    // still pick up the region it was spawned for.
+    std::uint64_t seen = 0;
+    for (;;) {
+      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      const std::shared_ptr<Task> task = task_;
+      lock.unlock();
+      if (task) drain(*task);
+      lock.lock();
+    }
+  }
+
+  void drain(Task& task) {
+    for (;;) {
+      const int s = task.next.fetch_add(1, std::memory_order_relaxed);
+      if (s >= task.shard_count) return;
+      try {
+        (*task.body)(s);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!task.error) task.error = std::current_exception();
+      }
+      if (task.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          task.shard_count) {
+        std::lock_guard<std::mutex> lock(mu_);
+        cv_done_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> workers_;
+  std::shared_ptr<Task> task_;  // current region (workers copy under mu_)
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+int shard_threads() {
+  int t = g_shard_threads.load(std::memory_order_relaxed);
+  if (t == 0) {
+    t = env_threads();
+    g_shard_threads.store(t, std::memory_order_relaxed);
+  }
+  return t;
+}
+
+void set_shard_threads(int threads) {
+  g_shard_threads.store(std::max(1, std::min(threads, 256)),
+                        std::memory_order_relaxed);
+}
+
+namespace parallel_detail {
+void run_sharded(int shards, const std::function<void(int)>& body) {
+  WorkerPool::instance().run(shards, body);
+}
+}  // namespace parallel_detail
+
+}  // namespace dcl

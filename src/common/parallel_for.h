@@ -1,0 +1,64 @@
+// Sharded per-node execution.
+//
+// The simulator's heavy per-node loops (cluster-neighbor table builds,
+// light-status scans, coverage tables) are embarrassingly parallel over the
+// node index, but the round ledger and the listing output must stay
+// bit-identical to the sequential execution. This helper therefore fixes a
+// deterministic decomposition: [0, n) is split into at most
+// `shard_threads()` *contiguous* shards whose boundaries depend only on
+// (n, shard count), and the caller merges per-shard buffers in shard order
+// (= node order). Shard bodies may write only to per-shard buffers or to
+// disjoint per-node slots, and may combine per-shard integers by exact
+// (integer) sums or maxima — every such merge is independent of execution
+// interleaving, so DCL_THREADS=k produces the same ledger fingerprints and
+// clique counts as the single-threaded default (enforced by
+// tests/test_parallel_for.cpp).
+//
+// The default is 1 shard, executed inline on the calling thread: no worker
+// pool is ever created unless DCL_THREADS (or set_shard_threads) opts in.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+namespace dcl {
+
+/// Shard count for parallel_for_shards: DCL_THREADS when set (>= 1),
+/// otherwise 1. Cached after the first read.
+int shard_threads();
+
+/// Overrides the shard count (tests; takes precedence over DCL_THREADS).
+void set_shard_threads(int threads);
+
+namespace parallel_detail {
+/// Runs body(0..shards-1) on the persistent worker pool, the calling
+/// thread included. Blocks until every shard finished; rethrows the first
+/// shard exception.
+void run_sharded(int shards, const std::function<void(int)>& body);
+}  // namespace parallel_detail
+
+/// Splits [0, n) into min(shard_threads(), n) contiguous shards and runs
+/// `body(shard, begin, end)` for each. Shard boundaries are a pure
+/// function of (n, shard count); with one shard the body runs inline.
+template <typename Body>
+void parallel_for_shards(std::int64_t n, Body&& body) {
+  if (n <= 0) return;
+  const int shards = static_cast<int>(
+      std::min<std::int64_t>(shard_threads(), n));
+  if (shards <= 1) {
+    body(0, std::int64_t{0}, n);
+    return;
+  }
+  const std::int64_t chunk = n / shards;
+  const std::int64_t extra = n % shards;
+  const std::function<void(int)> shard_body = [&](int s) {
+    const std::int64_t lo =
+        s * chunk + std::min<std::int64_t>(s, extra);
+    const std::int64_t hi = lo + chunk + (s < extra ? 1 : 0);
+    body(s, lo, hi);
+  };
+  parallel_detail::run_sharded(shards, shard_body);
+}
+
+}  // namespace dcl

@@ -10,7 +10,7 @@ namespace dcl {
 CliqueNetwork::CliqueNetwork(NodeId n, CliqueRoutingMode mode)
     : n_(n), mode_(mode) {
   if (n < 2) throw std::invalid_argument("CliqueNetwork: need >= 2 nodes");
-  inboxes_.resize(static_cast<std::size_t>(n));
+  arena_.reset(n);
   sent_.assign(static_cast<std::size_t>(n), 0);
   received_.assign(static_cast<std::size_t>(n), 0);
 }
@@ -22,10 +22,9 @@ void CliqueNetwork::begin_phase(std::string label) {
   phase_label_ = std::move(label);
   phase_open_ = true;
   queue_.clear();
-  pair_load_.clear();
   std::fill(sent_.begin(), sent_.end(), 0);
   std::fill(received_.begin(), received_.end(), 0);
-  for (auto& inbox : inboxes_) inbox.clear();
+  arena_.invalidate();
 }
 
 void CliqueNetwork::send(NodeId from, NodeId to, const Message& msg) {
@@ -37,12 +36,6 @@ void CliqueNetwork::send(NodeId from, NodeId to, const Message& msg) {
   }
   ++sent_[static_cast<std::size_t>(from)];
   ++received_[static_cast<std::size_t>(to)];
-  if (mode_ == CliqueRoutingMode::direct) {
-    const auto key =
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
-        static_cast<std::uint32_t>(to);
-    ++pair_load_[key];
-  }
   queue_.push_back({from, to, msg});
 }
 
@@ -51,11 +44,21 @@ std::int64_t CliqueNetwork::end_phase() {
     throw std::logic_error("CliqueNetwork: no phase open");
   }
   phase_open_ = false;
+  ++phase_count_;
+  arena_.deliver(queue_);
   std::int64_t rounds = 0;
   if (!queue_.empty()) {
     if (mode_ == CliqueRoutingMode::direct) {
-      for (const auto& [key, load] : pair_load_) {
-        rounds = std::max(rounds, load);
+      // The arena is sorted by (recipient, sender), so each ordered pair
+      // (u,v) is one contiguous run per inbox; the direct-mode cost is the
+      // longest run. Replaces the old per-send unordered_map histogram.
+      for (NodeId v = 0; v < n_; ++v) {
+        const auto in = arena_.inbox(v);
+        std::int64_t run = 0;
+        for (std::size_t i = 0; i < in.size(); ++i) {
+          run = (i > 0 && in[i].from == in[i - 1].from) ? run + 1 : 1;
+          rounds = std::max(rounds, run);
+        }
       }
     } else {
       std::int64_t max_load = 0;
@@ -68,14 +71,6 @@ std::int64_t CliqueNetwork::end_phase() {
       // constant for the routing protocol itself.
       rounds = ceil_div(max_load, static_cast<std::int64_t>(n_) - 1) + 2;
     }
-  }
-  std::stable_sort(queue_.begin(), queue_.end(),
-                   [](const Queued& x, const Queued& y) {
-                     if (x.to != y.to) return x.to < y.to;
-                     return x.from < y.from;
-                   });
-  for (const auto& q : queue_) {
-    inboxes_[static_cast<std::size_t>(q.to)].push_back({q.from, q.msg});
   }
   ledger_.charge_exchange(phase_label_, static_cast<double>(rounds),
                           queue_.size());

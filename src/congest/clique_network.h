@@ -16,10 +16,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "congest/delivery_arena.h"
 #include "congest/message.h"
 #include "congest/round_ledger.h"
 #include "graph/graph.h"
@@ -47,27 +48,26 @@ class CliqueNetwork {
   /// Delivers everything, charges the ledger, returns the round cost.
   std::int64_t end_phase();
 
-  const std::vector<Delivery>& inbox(NodeId v) const {
-    return inboxes_[static_cast<std::size_t>(v)];
-  }
+  /// Messages delivered to `v` in the last completed phase, ordered by
+  /// (sender, send order). A view into the flat delivery arena; valid
+  /// until the next end_phase().
+  std::span<const Delivery> inbox(NodeId v) const { return arena_.inbox(v); }
+
+  /// Completed phases, empty ones included (API parity with
+  /// CongestNetwork::phase_count).
+  std::uint64_t phase_count() const { return phase_count_; }
 
  private:
-  struct Queued {
-    NodeId from;
-    NodeId to;
-    Message msg;
-  };
-
   NodeId n_;
   CliqueRoutingMode mode_;
   RoundLedger ledger_;
   std::string phase_label_;
   bool phase_open_ = false;
-  std::vector<Queued> queue_;
+  std::uint64_t phase_count_ = 0;
+  std::vector<QueuedMessage> queue_;
   std::vector<std::int64_t> sent_;
   std::vector<std::int64_t> received_;
-  std::unordered_map<std::uint64_t, std::int64_t> pair_load_;
-  std::vector<std::vector<Delivery>> inboxes_;
+  DeliveryArena arena_;
 };
 
 }  // namespace dcl

@@ -6,7 +6,7 @@
 namespace dcl {
 
 CongestNetwork::CongestNetwork(const Graph& g) : g_(&g) {
-  inboxes_.resize(static_cast<std::size_t>(g.node_count()));
+  arena_.reset(g.node_count());
   edge_load_.assign(static_cast<std::size_t>(2 * g.edge_count()), 0);
 }
 
@@ -17,8 +17,7 @@ void CongestNetwork::begin_phase(std::string label) {
   phase_label_ = std::move(label);
   phase_open_ = true;
   queue_.clear();
-  std::fill(edge_load_.begin(), edge_load_.end(), 0);
-  for (auto& inbox : inboxes_) inbox.clear();
+  arena_.invalidate();
 }
 
 void CongestNetwork::send(NodeId from, NodeId to, const Message& msg) {
@@ -34,6 +33,7 @@ void CongestNetwork::send(NodeId from, NodeId to, const Message& msg) {
   const Edge& e = g_->edge(*eid);
   const std::size_t slot =
       2 * static_cast<std::size_t>(*eid) + (from == e.u ? 0u : 1u);
+  if (edge_load_[slot] == 0) touched_slots_.push_back(slot);
   ++edge_load_[slot];
   queue_.push_back({from, to, msg});
 }
@@ -45,17 +45,12 @@ std::int64_t CongestNetwork::end_phase() {
   phase_open_ = false;
   ++phase_count_;
   std::int64_t rounds = 0;
-  for (const auto load : edge_load_) rounds = std::max(rounds, load);
-  // Stable sort by (recipient, sender) keeps inbox order deterministic and
-  // independent of the enqueue interleaving across senders.
-  std::stable_sort(queue_.begin(), queue_.end(),
-                   [](const Queued& x, const Queued& y) {
-                     if (x.to != y.to) return x.to < y.to;
-                     return x.from < y.from;
-                   });
-  for (const auto& q : queue_) {
-    inboxes_[static_cast<std::size_t>(q.to)].push_back({q.from, q.msg});
+  for (const std::size_t slot : touched_slots_) {
+    rounds = std::max(rounds, edge_load_[slot]);
+    edge_load_[slot] = 0;  // restore the all-zero invariant for next phase
   }
+  touched_slots_.clear();
+  arena_.deliver(queue_);
   ledger_.charge_exchange(phase_label_, static_cast<double>(rounds),
                           queue_.size());
   queue_.clear();

@@ -20,9 +20,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "congest/delivery_arena.h"
 #include "congest/message.h"
 #include "congest/round_ledger.h"
 #include "graph/graph.h"
@@ -50,30 +52,27 @@ class CongestNetwork {
   std::int64_t end_phase();
 
   /// Messages delivered to `v` in the last completed phase, ordered by
-  /// (sender, send order) for determinism.
-  const std::vector<Delivery>& inbox(NodeId v) const {
-    return inboxes_[static_cast<std::size_t>(v)];
-  }
+  /// (sender, send order) for determinism. A view into the flat delivery
+  /// arena; valid until the next end_phase().
+  std::span<const Delivery> inbox(NodeId v) const { return arena_.inbox(v); }
 
   std::uint64_t phase_count() const { return phase_count_; }
 
  private:
-  struct Queued {
-    NodeId from;
-    NodeId to;
-    Message msg;
-  };
-
   const Graph* g_;
   RoundLedger ledger_;
   std::string phase_label_;
   bool phase_open_ = false;
   std::uint64_t phase_count_ = 0;
-  std::vector<Queued> queue_;
+  std::vector<QueuedMessage> queue_;
   // Congestion counters per directed edge: slot 2e   = lower→higher endpoint,
   //                                        slot 2e+1 = higher→lower.
+  // Invariant: all-zero outside an open phase — end_phase() zeroes exactly
+  // the slots the phase touched (`touched_slots_`), so a sparse phase costs
+  // O(traffic) instead of an O(2m) fill per phase.
   std::vector<std::int64_t> edge_load_;
-  std::vector<std::vector<Delivery>> inboxes_;
+  std::vector<std::size_t> touched_slots_;
+  DeliveryArena arena_;
 };
 
 }  // namespace dcl

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "congest/delivery_arena.h"
+
 namespace dcl {
 
 void RoundApi::send(NodeId to, const Message& msg) {
@@ -38,43 +40,46 @@ std::int64_t CongestEngine::run(std::int64_t max_rounds) {
     programs_[static_cast<std::size_t>(v)]->on_start(apis[static_cast<std::size_t>(v)]);
   }
 
-  std::vector<std::vector<Delivery>> inboxes(static_cast<std::size_t>(n));
+  // Flat round buffers, reused across rounds: one queue of outgoing
+  // messages (collected in node order, so it arrives grouped by sender) and
+  // one delivery arena replacing the per-round vector-of-vectors inboxes.
+  DeliveryArena arena;
+  arena.reset(n);
+  std::vector<QueuedMessage> round_queue;
   std::int64_t round = 0;
   std::uint64_t messages = 0;
   while (round < max_rounds) {
     // Deliver what nodes queued (either in on_start or last on_round).
-    std::vector<std::vector<Delivery>> next(static_cast<std::size_t>(n));
-    bool any_in_flight = false;
+    round_queue.clear();
     for (NodeId v = 0; v < n; ++v) {
       auto& api = apis[static_cast<std::size_t>(v)];
       for (auto& [to, msg] : api.outgoing_) {
-        next[static_cast<std::size_t>(to)].push_back({v, msg});
-        any_in_flight = true;
-        ++messages;
+        round_queue.push_back({v, to, msg});
       }
       api.outgoing_.clear();
       std::fill(api.sent_to_.begin(), api.sent_to_.end(), false);
     }
-    for (auto& inbox : next) {
-      std::stable_sort(
-          inbox.begin(), inbox.end(),
-          [](const Delivery& x, const Delivery& y) { return x.from < y.from; });
-    }
-    inboxes = std::move(next);
+    messages += round_queue.size();
+    // Collection order is (sender, send order); the counting-sort pass by
+    // recipient keeps each inbox sorted by sender, as before.
+    arena.deliver_grouped_by_sender(round_queue);
 
     bool any_active = false;
     for (NodeId v = 0; v < n; ++v) {
       auto& api = apis[static_cast<std::size_t>(v)];
       api.round_ = round;
-      if (programs_[static_cast<std::size_t>(v)]->on_round(
-              api, inboxes[static_cast<std::size_t>(v)])) {
+      if (programs_[static_cast<std::size_t>(v)]->on_round(api,
+                                                           arena.inbox(v))) {
         any_active = true;
       }
     }
     ++round;
+    // Quiescence: this round's deliveries were consumed by the on_round
+    // calls above, so once every node is done and nothing new is queued the
+    // run is over — no extra charged round for in-flight bookkeeping.
     bool queued = false;
     for (const auto& api : apis) queued |= !api.outgoing_.empty();
-    if (!any_active && !queued && !any_in_flight) break;
+    if (!any_active && !queued) break;
   }
   ledger_.charge_exchange("engine-run", static_cast<double>(round), messages);
   return round;

@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "congest/message.h"
@@ -56,11 +57,11 @@ class NodeProgram {
   /// Called once before the first round.
   virtual void on_start(RoundApi& api) { (void)api; }
 
-  /// Called every round with last round's deliveries. Return false once the
-  /// node is locally done; the engine stops when every node is done and no
-  /// messages are in flight.
-  virtual bool on_round(RoundApi& api,
-                        const std::vector<Delivery>& received) = 0;
+  /// Called every round with last round's deliveries (a view into the
+  /// engine's delivery arena, sorted by sender; valid for this call only).
+  /// Return false once the node is locally done; the engine stops when
+  /// every node is done and nothing is queued.
+  virtual bool on_round(RoundApi& api, std::span<const Delivery> received) = 0;
 };
 
 class CongestEngine {

@@ -29,7 +29,7 @@ class BfsProgram : public NodeProgram {
     }
   }
 
-  bool on_round(RoundApi& api, const std::vector<Delivery>& received) override {
+  bool on_round(RoundApi& api, std::span<const Delivery> received) override {
     if (depth_ >= 0 || received.empty()) return false;
     // First delivery wins; ties broken by sender id (inbox is sorted).
     parent_ = received.front().from;

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+#include <span>
 
 #include "common/math_util.h"
+#include "common/parallel_for.h"
 #include "core/in_cluster_listing.h"
 #include "routing/cluster_router.h"
 
@@ -33,6 +34,79 @@ struct CurrentView {
     });
   }
 };
+
+/// Per-node cluster-neighbor counts g_{v,C}: one CSR of (cluster, count)
+/// entries, sorted by cluster id within each node's row. Replaces the old
+/// vector of per-node unordered_maps — the rows live in one contiguous
+/// array and membership is a binary search over a short sorted row.
+struct ClusterNeighborTable {
+  std::vector<std::uint32_t> off;  // n+1 row offsets
+  std::vector<std::pair<int, std::int32_t>> entries;
+
+  std::span<const std::pair<int, std::int32_t>> row(NodeId v) const {
+    const auto b = off[static_cast<std::size_t>(v)];
+    const auto e = off[static_cast<std::size_t>(v) + 1];
+    return {entries.data() + b, static_cast<std::size_t>(e - b)};
+  }
+
+  /// Count for cluster `c` at node `v`, or nullptr when v has no
+  /// C-neighbors.
+  const std::int32_t* find(NodeId v, int c) const {
+    const auto r = row(v);
+    const auto it = std::lower_bound(
+        r.begin(), r.end(), c,
+        [](const std::pair<int, std::int32_t>& e, int key) {
+          return e.first < key;
+        });
+    return (it != r.end() && it->first == c) ? &it->second : nullptr;
+  }
+};
+
+/// Builds the table sharded over the node index: each shard run-length
+/// encodes the sorted cluster ids of its nodes into a shard-local buffer;
+/// shards cover contiguous ascending node ranges, so concatenating the
+/// buffers in shard order IS the node-ordered CSR payload.
+ClusterNeighborTable build_cluster_neighbors(NodeId n, const CurrentView& view,
+                                             const std::vector<int>& cluster_of) {
+  ClusterNeighborTable table;
+  table.off.assign(static_cast<std::size_t>(n) + 1, 0);
+  // Sized by shard_threads() alone — an upper bound on whatever shard
+  // count parallel_for_shards derives, so the two can never disagree.
+  std::vector<std::vector<std::pair<int, std::int32_t>>> shard_entries(
+      static_cast<std::size_t>(shard_threads()));
+  parallel_for_shards(n, [&](int shard, std::int64_t lo, std::int64_t hi) {
+    auto& buf = shard_entries[static_cast<std::size_t>(shard)];
+    std::vector<int> scratch;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const auto v = static_cast<NodeId>(i);
+      scratch.clear();
+      for (const auto& [w, e] : view.adj[static_cast<std::size_t>(v)]) {
+        const int c = cluster_of[static_cast<std::size_t>(w)];
+        if (c >= 0 && cluster_of[static_cast<std::size_t>(v)] != c) {
+          scratch.push_back(c);
+        }
+      }
+      std::sort(scratch.begin(), scratch.end());
+      const std::size_t row_start = buf.size();
+      for (std::size_t x = 0; x < scratch.size();) {
+        std::size_t y = x;
+        while (y < scratch.size() && scratch[y] == scratch[x]) ++y;
+        buf.emplace_back(scratch[x], static_cast<std::int32_t>(y - x));
+        x = y;
+      }
+      table.off[static_cast<std::size_t>(v) + 1] =
+          static_cast<std::uint32_t>(buf.size() - row_start);
+    }
+  });
+  for (std::size_t v = 1; v <= static_cast<std::size_t>(n); ++v) {
+    table.off[v] += table.off[v - 1];
+  }
+  table.entries.reserve(table.off[static_cast<std::size_t>(n)]);
+  for (const auto& buf : shard_entries) {
+    table.entries.insert(table.entries.end(), buf.begin(), buf.end());
+  }
+  return table;
+}
 
 }  // namespace
 
@@ -105,18 +179,14 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
 
   // ---- Step 2a: cluster announcement + g_{v,C} (one exchange round). -----
   // Every cluster node tells its current-graph neighbors its cluster id;
-  // v then knows g_{v,C} for each adjacent cluster C.
-  std::vector<std::unordered_map<int, std::int32_t>> cluster_neighbors(
-      static_cast<std::size_t>(n));
+  // v then knows g_{v,C} for each adjacent cluster C. Built sharded into
+  // the flat CSR table; the announce message count is the sum of all
+  // per-cluster counts (one message per cross-cluster adjacency).
+  const ClusterNeighborTable cluster_neighbors =
+      build_cluster_neighbors(n, view, cluster_of);
   std::uint64_t announce_msgs = 0;
-  for (NodeId v = 0; v < n; ++v) {
-    for (const auto& [w, e] : view.adj[static_cast<std::size_t>(v)]) {
-      const int c = cluster_of[static_cast<std::size_t>(w)];
-      if (c >= 0 && cluster_of[static_cast<std::size_t>(v)] != c) {
-        ++cluster_neighbors[static_cast<std::size_t>(v)][c];
-        ++announce_msgs;
-      }
-    }
+  for (const auto& [c, count] : cluster_neighbors.entries) {
+    announce_msgs += static_cast<std::uint64_t>(count);
   }
   ctx.ledger->charge_exchange("cluster-announce", 1.0, announce_msgs);
 
@@ -133,9 +203,8 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
                              0.25)))));
 
   auto is_heavy_for = [&](NodeId v, int c) {
-    const auto& m = cluster_neighbors[static_cast<std::size_t>(v)];
-    const auto it = m.find(c);
-    return it != m.end() && it->second > heavy_threshold;
+    const std::int32_t* count = cluster_neighbors.find(v, c);
+    return count != nullptr && *count > heavy_threshold;
   };
 
   // ---- Step 2b: heavy nodes ship their outgoing edges into the cluster. --
@@ -145,7 +214,7 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   std::int64_t heavy_phase_load = 0;
   std::uint64_t heavy_msgs = 0;
   for (NodeId v = 0; v < n; ++v) {
-    const auto& clusters_of_v = cluster_neighbors[static_cast<std::size_t>(v)];
+    const auto clusters_of_v = cluster_neighbors.row(v);
     if (clusters_of_v.empty()) continue;
     const auto& out_v = view.out[static_cast<std::size_t>(v)];
     for (const auto& [c, count] : clusters_of_v) {
@@ -178,18 +247,27 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
 
   // ---- Step 3: light-status exchange, bad nodes, bad edges. ---------------
   // One round: every outside node tells its cluster neighbors whether it is
-  // C-light; u ∈ C then knows u_light.
+  // C-light; u ∈ C then knows u_light. Sharded over u: ulight slots are
+  // disjoint and the message count is an exact integer sum over shards.
   std::vector<std::int64_t> ulight(static_cast<std::size_t>(n), 0);
-  std::uint64_t status_msgs = 0;
-  for (NodeId u = 0; u < n; ++u) {
-    const int c = cluster_of[static_cast<std::size_t>(u)];
-    if (c < 0) continue;
-    for (const auto& [v, e] : view.adj[static_cast<std::size_t>(u)]) {
-      if (cluster_of[static_cast<std::size_t>(v)] == c) continue;
-      ++status_msgs;
-      if (!is_heavy_for(v, c)) ++ulight[static_cast<std::size_t>(u)];
+  std::vector<std::uint64_t> shard_status_msgs(
+      static_cast<std::size_t>(shard_threads()), 0);
+  parallel_for_shards(n, [&](int shard, std::int64_t lo, std::int64_t hi) {
+    std::uint64_t msgs = 0;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const auto u = static_cast<NodeId>(i);
+      const int c = cluster_of[static_cast<std::size_t>(u)];
+      if (c < 0) continue;
+      for (const auto& [v, e] : view.adj[static_cast<std::size_t>(u)]) {
+        if (cluster_of[static_cast<std::size_t>(v)] == c) continue;
+        ++msgs;
+        if (!is_heavy_for(v, c)) ++ulight[static_cast<std::size_t>(u)];
+      }
     }
-  }
+    shard_status_msgs[static_cast<std::size_t>(shard)] = msgs;
+  });
+  std::uint64_t status_msgs = 0;
+  for (const std::uint64_t msgs : shard_status_msgs) status_msgs += msgs;
   ctx.ledger->charge_exchange("light-status", 1.0, status_msgs);
 
   const std::int64_t bad_threshold = std::max<std::int64_t>(
@@ -228,53 +306,77 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   // answer with the sublist they are adjacent to. Each exchange is charged
   // its exact per-directed-edge congestion.
   if (!cfg.k4_fast) {
-    std::int64_t broadcast_load = 0;
-    std::int64_t response_load = 0;
-    std::uint64_t broadcast_msgs = 0;
-    std::uint64_t response_msgs = 0;
-    std::vector<bool> mark(static_cast<std::size_t>(n), false);
-    for (NodeId u = 0; u < n; ++u) {
-      const int c = cluster_of[static_cast<std::size_t>(u)];
-      if (c < 0 || bad[static_cast<std::size_t>(u)]) continue;
-      // L(u): u's C-light neighbors outside the cluster.
+    // Sharded over u: each u writes only learned[u] (its own slot, in its
+    // own iteration order), the `mark` scratch is per-shard, and the loads
+    // merge by exact max / integer sum — all independent of interleaving.
+    struct LightListStats {
+      std::int64_t broadcast_load = 0;
+      std::int64_t response_load = 0;
+      std::uint64_t broadcast_msgs = 0;
+      std::uint64_t response_msgs = 0;
+    };
+    std::vector<LightListStats> shard_stats(
+        static_cast<std::size_t>(shard_threads()));
+    parallel_for_shards(n, [&](int shard, std::int64_t lo, std::int64_t hi) {
+      LightListStats stats;
+      std::vector<bool> mark(static_cast<std::size_t>(n), false);
       std::vector<NodeId> light_list;
-      for (const auto& [v, e] : view.adj[static_cast<std::size_t>(u)]) {
-        if (cluster_of[static_cast<std::size_t>(v)] != c &&
-            !is_heavy_for(v, c)) {
-          light_list.push_back(v);
+      for (std::int64_t i = lo; i < hi; ++i) {
+        const auto u = static_cast<NodeId>(i);
+        const int c = cluster_of[static_cast<std::size_t>(u)];
+        if (c < 0 || bad[static_cast<std::size_t>(u)]) continue;
+        // L(u): u's C-light neighbors outside the cluster.
+        light_list.clear();
+        for (const auto& [v, e] : view.adj[static_cast<std::size_t>(u)]) {
+          if (cluster_of[static_cast<std::size_t>(v)] != c &&
+              !is_heavy_for(v, c)) {
+            light_list.push_back(v);
+          }
+        }
+        if (light_list.empty()) continue;
+        for (const NodeId w : light_list) {
+          mark[static_cast<std::size_t>(w)] = true;
+        }
+        for (const auto& [v, e] : view.adj[static_cast<std::size_t>(u)]) {
+          if (cluster_of[static_cast<std::size_t>(v)] == c) continue;
+          // u → v: the whole list; v → u: the members adjacent to v.
+          stats.broadcast_load = std::max(
+              stats.broadcast_load,
+              static_cast<std::int64_t>(light_list.size()));
+          stats.broadcast_msgs += light_list.size();
+          std::int64_t matches = 0;
+          for (const auto& [w, we] : view.adj[static_cast<std::size_t>(v)]) {
+            if (w == u || !mark[static_cast<std::size_t>(w)]) continue;
+            ++matches;
+            // v reports the edge {v,w} with its orientation bit.
+            const Edge& ed = base.edge(we);
+            const NodeId tail = away[we] ? ed.u : ed.v;
+            learned[static_cast<std::size_t>(u)].push_back(
+                KnownEdge{tail, base.other_endpoint(we, tail)});
+          }
+          stats.response_msgs += static_cast<std::uint64_t>(matches);
+          stats.response_load = std::max(stats.response_load, matches);
+        }
+        for (const NodeId w : light_list) {
+          mark[static_cast<std::size_t>(w)] = false;
         }
       }
-      if (light_list.empty()) continue;
-      for (const NodeId w : light_list) mark[static_cast<std::size_t>(w)] = true;
-      for (const auto& [v, e] : view.adj[static_cast<std::size_t>(u)]) {
-        if (cluster_of[static_cast<std::size_t>(v)] == c) continue;
-        // u → v: the whole list; v → u: the members adjacent to v.
-        broadcast_load = std::max(
-            broadcast_load, static_cast<std::int64_t>(light_list.size()));
-        broadcast_msgs += light_list.size();
-        std::int64_t matches = 0;
-        for (const auto& [w, we] : view.adj[static_cast<std::size_t>(v)]) {
-          if (w == u || !mark[static_cast<std::size_t>(w)]) continue;
-          ++matches;
-          // v reports the edge {v,w} with its orientation bit.
-          const Edge& ed = base.edge(we);
-          const NodeId tail = away[we] ? ed.u : ed.v;
-          learned[static_cast<std::size_t>(u)].push_back(
-              KnownEdge{tail, base.other_endpoint(we, tail)});
-        }
-        response_msgs += static_cast<std::uint64_t>(matches);
-        response_load = std::max(response_load, matches);
-      }
-      for (const NodeId w : light_list) {
-        mark[static_cast<std::size_t>(w)] = false;
-      }
+      shard_stats[static_cast<std::size_t>(shard)] = stats;
+    });
+    LightListStats total;
+    for (const LightListStats& stats : shard_stats) {
+      total.broadcast_load = std::max(total.broadcast_load,
+                                      stats.broadcast_load);
+      total.response_load = std::max(total.response_load, stats.response_load);
+      total.broadcast_msgs += stats.broadcast_msgs;
+      total.response_msgs += stats.response_msgs;
     }
     ctx.ledger->charge_exchange("light-list-broadcast",
-                                static_cast<double>(broadcast_load),
-                                broadcast_msgs);
+                                static_cast<double>(total.broadcast_load),
+                                total.broadcast_msgs);
     ctx.ledger->charge_exchange("light-list-response",
-                                static_cast<double>(response_load),
-                                response_msgs);
+                                static_cast<double>(total.response_load),
+                                total.response_msgs);
   }
 
   // ---- Step 5: reshuffle to responsibility holders (Theorem 2.4). --------
@@ -369,9 +471,8 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
       std::int64_t cluster_max = 0;
       for (NodeId v = 0; v < n; ++v) {
         if (cluster_of[static_cast<std::size_t>(v)] == cluster.id) continue;
-        const auto& m = cluster_neighbors[static_cast<std::size_t>(v)];
-        const auto it = m.find(cluster.id);
-        if (it == m.end() || it->second > heavy_threshold) continue;
+        const std::int32_t* count = cluster_neighbors.find(v, cluster.id);
+        if (count == nullptr || *count > heavy_threshold) continue;
         // v is C-light: collect Lv = its cluster-C neighbors.
         std::vector<NodeId> lv;
         for (const auto& [w, e] : view.adj[static_cast<std::size_t>(v)]) {

@@ -1,43 +1,14 @@
 #include "core/in_cluster_listing.h"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "common/intersect.h"
 #include "common/math_util.h"
+#include "core/part_tables.h"
 #include "enumeration/clique_enumeration.h"
 
 namespace dcl {
-
-namespace {
-
-/// The p base-q digits of new ID i (mod q^p), as a sorted multiset.
-std::vector<int> part_multiset(NodeId new_id, int q, int p) {
-  const std::int64_t space = ipow(q, p);
-  auto digits = radix_digits(static_cast<std::int64_t>(new_id) % space, q, p);
-  std::sort(digits.begin(), digits.end());
-  return digits;
-}
-
-/// Whether the sorted multiset `s` contains part `a` and part `b`
-/// (with multiplicity two when a == b).
-bool multiset_covers(const std::vector<int>& s, int a, int b) {
-  if (a > b) std::swap(a, b);
-  if (a == b) {
-    const auto lo = std::lower_bound(s.begin(), s.end(), a);
-    return lo != s.end() && *lo == a && (lo + 1) != s.end() && *(lo + 1) == a;
-  }
-  return sorted_contains(s, a) && sorted_contains(s, b);
-}
-
-int pair_index(int a, int b, int q) {
-  if (a > b) std::swap(a, b);
-  return a * q + b;
-}
-
-}  // namespace
 
 InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
                               ListingOutput& out) {
@@ -71,17 +42,7 @@ InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
   for (NodeId j = 0; j < k; ++j) {
     tuple[static_cast<std::size_t>(j)] = part_multiset(j, q, p);
   }
-  std::vector<std::int64_t> cover(static_cast<std::size_t>(q * q), 0);
-  for (NodeId j = 0; j < k; ++j) {
-    const auto& s = tuple[static_cast<std::size_t>(j)];
-    for (int a = 0; a < q; ++a) {
-      for (int b = a; b < q; ++b) {
-        if (multiset_covers(s, a, b)) {
-          ++cover[static_cast<std::size_t>(pair_index(a, b, q))];
-        }
-      }
-    }
-  }
+  const std::vector<std::int64_t> cover = coverage_table(tuple, q);
 
   // Step 3: bucket every known edge by its unordered part pair, tracking
   // exact send loads (holder sends each edge to every covering node).
@@ -103,16 +64,24 @@ InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
   // outputs, so only the first representative of each multiset enumerates
   // (a pure simulation shortcut: loads are still accounted for every node,
   // and the *union* of outputs — the correctness contract — is unchanged).
-  std::map<std::vector<int>, NodeId> representative;
-  for (NodeId j = 0; j < k; ++j) {
-    representative.try_emplace(tuple[static_cast<std::size_t>(j)], j);
-  }
+  // The representative of a multiset is its minimum cluster index, read
+  // from the sorted flat table.
+  const std::vector<NodeId> rep = representative_table(tuple, q);
   std::vector<std::int64_t> recv_load(static_cast<std::size_t>(k), 0);
   std::vector<KnownEdge> local_edges;
-  std::vector<NodeId> compact_to_global;
-  std::unordered_map<NodeId, NodeId> global_to_compact;
+  // Dense global→compact interning table over base ids. thread_local so
+  // the O(n) buffer is NOT re-allocated per cluster call (arb_list calls
+  // this once per cluster): all slots are -1 between uses — each use
+  // resets exactly the entries recorded in compact_to_global, including
+  // across calls (the reset below walks the previous use's ids first).
+  static thread_local std::vector<NodeId> global_to_compact;
+  static thread_local std::vector<NodeId> compact_to_global;
+  if (global_to_compact.size() < static_cast<std::size_t>(base.node_count())) {
+    global_to_compact.resize(static_cast<std::size_t>(base.node_count()), -1);
+  }
   for (NodeId j = 0; j < k; ++j) {
     const auto& s = tuple[static_cast<std::size_t>(j)];
+    const bool is_rep = rep[static_cast<std::size_t>(j)] == j;
     local_edges.clear();
     for (int a = 0; a < q; ++a) {
       for (int b = a; b < q; ++b) {
@@ -120,25 +89,28 @@ InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
         const auto& bkt = bucket[static_cast<std::size_t>(pair_index(a, b, q))];
         recv_load[static_cast<std::size_t>(j)] +=
             static_cast<std::int64_t>(bkt.size());
-        if (representative.at(s) == j) {
+        if (is_rep) {
           local_edges.insert(local_edges.end(), bkt.begin(), bkt.end());
         }
       }
     }
-    if (representative.at(s) != j ||
-        static_cast<int>(local_edges.size()) < p * (p - 1) / 2) {
+    if (!is_rep || static_cast<int>(local_edges.size()) < p * (p - 1) / 2) {
       continue;
     }
     // Step 4: local Kp enumeration on the received edges.
+    for (const NodeId g : compact_to_global) {
+      global_to_compact[static_cast<std::size_t>(g)] = -1;
+    }
     compact_to_global.clear();
-    global_to_compact.clear();
     std::vector<Edge> edges;
     edges.reserve(local_edges.size());
     auto intern = [&](NodeId g) {
-      auto [it, fresh] = global_to_compact.try_emplace(
-          g, static_cast<NodeId>(compact_to_global.size()));
-      if (fresh) compact_to_global.push_back(g);
-      return it->second;
+      NodeId& slot = global_to_compact[static_cast<std::size_t>(g)];
+      if (slot < 0) {
+        slot = static_cast<NodeId>(compact_to_global.size());
+        compact_to_global.push_back(g);
+      }
+      return slot;
     };
     for (const KnownEdge& e : local_edges) {
       edges.push_back(make_edge(intern(e.tail), intern(e.head)));

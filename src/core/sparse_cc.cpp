@@ -2,41 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <stdexcept>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "common/intersect.h"
 #include "common/math_util.h"
+#include "common/parallel_for.h"
 #include "common/rng.h"
+#include "core/part_tables.h"
 #include "enumeration/clique_enumeration.h"
 #include "graph/orientation.h"
 
 namespace dcl {
 
 namespace {
-
-std::vector<int> part_multiset(NodeId id, int q, int p) {
-  const std::int64_t space = ipow(q, p);
-  auto digits = radix_digits(static_cast<std::int64_t>(id) % space, q, p);
-  std::sort(digits.begin(), digits.end());
-  return digits;
-}
-
-bool multiset_covers(const std::vector<int>& s, int a, int b) {
-  if (a > b) std::swap(a, b);
-  if (a == b) {
-    const auto lo = std::lower_bound(s.begin(), s.end(), a);
-    return lo != s.end() && *lo == a && (lo + 1) != s.end() && *(lo + 1) == a;
-  }
-  return sorted_contains(s, a) && sorted_contains(s, b);
-}
-
-int pair_index(int a, int b, int q) {
-  if (a > b) std::swap(a, b);
-  return a * q + b;
-}
 
 struct DirectedEdge {
   NodeId tail;
@@ -129,18 +108,34 @@ SparseCcResult sparse_cc_list(const Graph& g, const SparseCcConfig& cfg,
         std::max(result.max_pair_bucket, static_cast<std::int64_t>(b.size()));
   }
 
+  // Part multisets and the coverage table, sharded over the node index.
+  // Shards write disjoint tuple slots; the per-shard coverage tables are
+  // integer histograms whose sum is independent of shard interleaving, so
+  // the merged table is bit-identical to the sequential build.
   std::vector<std::vector<int>> tuple(static_cast<std::size_t>(n));
-  for (NodeId i = 0; i < n; ++i) {
-    tuple[static_cast<std::size_t>(i)] = part_multiset(i, q, p);
-  }
-  std::vector<std::int64_t> cover(static_cast<std::size_t>(q * q), 0);
-  for (NodeId i = 0; i < n; ++i) {
-    for (int a = 0; a < q; ++a) {
-      for (int b = a; b < q; ++b) {
-        if (multiset_covers(tuple[static_cast<std::size_t>(i)], a, b)) {
-          ++cover[static_cast<std::size_t>(pair_index(a, b, q))];
+  // Sized by shard_threads() alone — an upper bound on whatever shard
+  // count parallel_for_shards derives, so the two can never disagree.
+  std::vector<std::vector<std::int64_t>> shard_cover(
+      static_cast<std::size_t>(shard_threads()));
+  parallel_for_shards(n, [&](int shard, std::int64_t lo, std::int64_t hi) {
+    auto& local_cover = shard_cover[static_cast<std::size_t>(shard)];
+    local_cover.assign(static_cast<std::size_t>(q * q), 0);
+    for (std::int64_t i = lo; i < hi; ++i) {
+      auto& s = tuple[static_cast<std::size_t>(i)];
+      s = part_multiset(static_cast<NodeId>(i), q, p);
+      for (int a = 0; a < q; ++a) {
+        for (int b = a; b < q; ++b) {
+          if (multiset_covers(s, a, b)) {
+            ++local_cover[static_cast<std::size_t>(pair_index(a, b, q))];
+          }
         }
       }
+    }
+  });
+  std::vector<std::int64_t> cover(static_cast<std::size_t>(q * q), 0);
+  for (const auto& local_cover : shard_cover) {
+    for (std::size_t idx = 0; idx < local_cover.size(); ++idx) {
+      cover[idx] += local_cover[idx];
     }
   }
 
@@ -156,16 +151,20 @@ SparseCcResult sparse_cc_list(const Graph& g, const SparseCcConfig& cfg,
     send_load[static_cast<std::size_t>(de.tail)] +=
         cover[static_cast<std::size_t>(idx)];
   }
-  for (NodeId i = 0; i < n; ++i) {
-    for (int a = 0; a < q; ++a) {
-      for (int b = a; b < q; ++b) {
-        if (multiset_covers(tuple[static_cast<std::size_t>(i)], a, b)) {
-          recv_load[static_cast<std::size_t>(i)] += static_cast<std::int64_t>(
-              bucket[static_cast<std::size_t>(pair_index(a, b, q))].size());
+  // Receive loads are independent per node: shard over the node index
+  // (disjoint recv_load slots; reads are all const).
+  parallel_for_shards(n, [&](int, std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      for (int a = 0; a < q; ++a) {
+        for (int b = a; b < q; ++b) {
+          if (multiset_covers(tuple[static_cast<std::size_t>(i)], a, b)) {
+            recv_load[static_cast<std::size_t>(i)] += static_cast<std::int64_t>(
+                bucket[static_cast<std::size_t>(pair_index(a, b, q))].size());
+          }
         }
       }
     }
-  }
+  });
   std::int64_t max_load = 0;
   for (NodeId i = 0; i < n; ++i) {
     max_load = std::max({max_load, send_load[static_cast<std::size_t>(i)],
@@ -190,22 +189,26 @@ SparseCcResult sparse_cc_list(const Graph& g, const SparseCcConfig& cfg,
   // Local listing at every node: real edges between its parts. Nodes with
   // identical part multisets receive identical edge sets; only the first
   // representative enumerates (simulation shortcut — loads above are per
-  // node, and the union of outputs is unchanged).
-  std::map<std::vector<int>, NodeId> representative;
-  for (NodeId i = 0; i < n; ++i) {
-    representative.try_emplace(tuple[static_cast<std::size_t>(i)], i);
-  }
+  // node, and the union of outputs is unchanged). The representative of a
+  // multiset is its minimum node id, read from the sorted flat table.
+  const std::vector<NodeId> rep = representative_table(tuple, q);
+  // Dense global→compact interning table, reset per representative by
+  // walking the touched ids (to_global) instead of reallocating a map.
+  std::vector<NodeId> to_compact(static_cast<std::size_t>(n), -1);
+  std::vector<NodeId> to_global;
   for (NodeId i = 0; i < n; ++i) {
     const auto& s = tuple[static_cast<std::size_t>(i)];
-    if (representative.at(s) != i) continue;
+    if (rep[static_cast<std::size_t>(i)] != i) continue;
     std::vector<Edge> local;
-    std::unordered_map<NodeId, NodeId> to_compact;
-    std::vector<NodeId> to_global;
+    for (const NodeId v : to_global) to_compact[static_cast<std::size_t>(v)] = -1;
+    to_global.clear();
     auto intern = [&](NodeId v) {
-      auto [it, fresh] =
-          to_compact.try_emplace(v, static_cast<NodeId>(to_global.size()));
-      if (fresh) to_global.push_back(v);
-      return it->second;
+      NodeId& slot = to_compact[static_cast<std::size_t>(v)];
+      if (slot < 0) {
+        slot = static_cast<NodeId>(to_global.size());
+        to_global.push_back(v);
+      }
+      return slot;
     };
     for (int a = 0; a < q; ++a) {
       for (int b = a; b < q; ++b) {

@@ -4,6 +4,8 @@
 
 #include <stdexcept>
 
+#include "congest/congest_network.h"
+#include "graph/generators.h"
 #include "test_util.h"
 
 namespace dcl {
@@ -79,6 +81,88 @@ TEST(CliqueNetwork, PhaseProtocolEnforced) {
 
 TEST(CliqueNetwork, RequiresTwoNodes) {
   EXPECT_THROW(CliqueNetwork net(1), std::invalid_argument);
+}
+
+TEST(CliqueNetwork, PhaseCountMatchesCongestNetworkParity) {
+  // CliqueNetwork must expose the same phase_count() bookkeeping as
+  // CongestNetwork: starts at 0, increments per completed phase, and
+  // counts empty phases too.
+  CliqueNetwork net(4);
+  EXPECT_EQ(net.phase_count(), 0u);
+  net.begin_phase("a");
+  net.send(0, 1, Message{});
+  EXPECT_EQ(net.phase_count(), 0u);  // counted at end_phase, not begin
+  net.end_phase();
+  EXPECT_EQ(net.phase_count(), 1u);
+  net.begin_phase("idle");
+  net.end_phase();
+  EXPECT_EQ(net.phase_count(), 2u);
+
+  // Identical phase protocol on a CONGEST network yields the same count.
+  const Graph g = path_graph(2);
+  CongestNetwork reference(g);
+  reference.begin_phase("a");
+  reference.send(0, 1, Message{});
+  reference.end_phase();
+  reference.begin_phase("idle");
+  reference.end_phase();
+  EXPECT_EQ(net.phase_count(), reference.phase_count());
+}
+
+// ---- Lenzen-accounting boundaries ----------------------------------------
+
+TEST(CliqueNetwork, LenzenExactBandwidthMultiple) {
+  // max load exactly 2·(n-1): ceil(20/10) = 2 full-bandwidth rounds + 2
+  // protocol rounds — the ceil must not round 2.0 up to 3.
+  const NodeId n = 11;
+  CliqueNetwork net(n, CliqueRoutingMode::lenzen);
+  net.begin_phase("t");
+  for (int i = 0; i < 20; ++i) {
+    net.send(0, static_cast<NodeId>(1 + (i % 10)), Message{.tag = i});
+  }
+  EXPECT_EQ(net.end_phase(), 4);
+}
+
+TEST(CliqueNetwork, LenzenSingleMessagePhase) {
+  // One message: ceil(1/(n-1)) = 1 round + 2 protocol rounds. The +O(1)
+  // overhead is charged whenever anything is sent at all...
+  const NodeId n = 11;
+  CliqueNetwork net(n, CliqueRoutingMode::lenzen);
+  net.begin_phase("t");
+  net.send(3, 7, Message{.tag = 1});
+  EXPECT_EQ(net.end_phase(), 3);
+  // ...but never for an empty phase (tested above: EmptyPhaseCostsNothing).
+}
+
+TEST(CliqueNetwork, DirectVsLenzenOnTheSameQueue) {
+  // The same message queue through both accounting modes: direct charges
+  // the max ordered-pair multiplicity, lenzen the bandwidth formula, and
+  // the delivered inboxes are identical.
+  const NodeId n = 6;
+  CliqueNetwork direct(n, CliqueRoutingMode::direct);
+  CliqueNetwork lenzen(n, CliqueRoutingMode::lenzen);
+  auto drive = [](CliqueNetwork& net) {
+    net.begin_phase("t");
+    for (int i = 0; i < 7; ++i) net.send(0, 1, Message{.tag = i});
+    for (int i = 0; i < 3; ++i) net.send(2, 1, Message{.tag = i});
+    net.send(4, 5, Message{.tag = 9});
+    return net.end_phase();
+  };
+  // Direct: heaviest ordered pair is 0→1 with 7 messages.
+  EXPECT_EQ(drive(direct), 7);
+  // Lenzen: max(S,R) = 10 (node 1 receives 7+3), ceil(10/5) + 2 = 4.
+  EXPECT_EQ(drive(lenzen), 4);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto a = direct.inbox(v);
+    const auto b = lenzen.inbox(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].from, b[i].from);
+      EXPECT_EQ(a[i].msg, b[i].msg);
+    }
+  }
+  expect_ledger_valid(direct.ledger());
+  expect_ledger_valid(lenzen.ledger());
 }
 
 TEST(CliqueNetwork, InboxSortedBySender) {

@@ -119,7 +119,7 @@ class FloodProgram : public NodeProgram {
       }
     }
   }
-  bool on_round(RoundApi& api, const std::vector<Delivery>& received) override {
+  bool on_round(RoundApi& api, std::span<const Delivery> received) override {
     if (heard_at_ < 0 && !received.empty()) {
       heard_at_ = api.round() + 1;  // delivered at start of this round
       for (const NodeId w : api.graph().neighbors(self_)) {
@@ -151,7 +151,7 @@ TEST(CongestEngine, FloodReachesAllInEccentricityRounds) {
 /// A program that (illegally) sends two messages to the same neighbor.
 class DoubleSendProgram : public NodeProgram {
  public:
-  bool on_round(RoundApi& api, const std::vector<Delivery>&) override {
+  bool on_round(RoundApi& api, std::span<const Delivery>) override {
     if (api.self() == 0 && api.round() == 0) {
       api.send(1, Message{});
       api.send(1, Message{});  // must throw
@@ -171,7 +171,7 @@ TEST(CongestEngine, OneMessagePerNeighborPerRound) {
 /// Sending to a non-neighbor must throw.
 class BadTargetProgram : public NodeProgram {
  public:
-  bool on_round(RoundApi& api, const std::vector<Delivery>&) override {
+  bool on_round(RoundApi& api, std::span<const Delivery>) override {
     if (api.self() == 0 && api.round() == 0) api.send(2, Message{});
     return false;
   }
@@ -191,7 +191,7 @@ TEST(CongestEngine, RejectsNonNeighborTarget) {
 class RepeatSendProgram : public NodeProgram {
  public:
   static constexpr int kRounds = 5;
-  bool on_round(RoundApi& api, const std::vector<Delivery>& received) override {
+  bool on_round(RoundApi& api, std::span<const Delivery> received) override {
     if (api.self() == 0 && api.round() < kRounds) {
       api.send(1, Message{.tag = static_cast<int>(api.round())});
       return true;
@@ -235,6 +235,117 @@ TEST(CongestEngine, QuiescenceTerminates) {
   EXPECT_LT(rounds, 10);  // eccentricity of C8 from node 0 is 4
 }
 
+TEST(CongestEngine, QuiescenceChargesNoExtraRound) {
+  // Flood on P2: node 1 hears in round 0 and refloods; round 1 delivers
+  // that reflood to a node that is already done. The run must stop right
+  // there — a delivery consumed by on_round is not "in flight", so no
+  // third round may be charged.
+  const Graph g = path_graph(2);
+  CongestEngine engine(g, [](NodeId v) {
+    return std::make_unique<FloodProgram>(v);
+  });
+  EXPECT_EQ(engine.run(), 2);
+  EXPECT_DOUBLE_EQ(engine.ledger().total_rounds(), 2.0);
+  EXPECT_EQ(engine.ledger().total_messages(), 2u);  // 0→1, then 1→0
+}
+
+/// Every node is done from the start and nothing is ever queued.
+class IdleProgram : public NodeProgram {
+ public:
+  bool on_round(RoundApi&, std::span<const Delivery>) override {
+    return false;
+  }
+};
+
+TEST(CongestEngine, AllDoneAndNothingQueuedTerminatesAfterOneRound) {
+  // One on_round sweep is needed to learn every node is done; with no
+  // queued and no in-flight messages the engine must charge exactly that
+  // single round and stop.
+  const Graph g = cycle_graph(5);
+  CongestEngine engine(g, [](NodeId) {
+    return std::make_unique<IdleProgram>();
+  });
+  EXPECT_EQ(engine.run(), 1);
+  EXPECT_DOUBLE_EQ(engine.ledger().total_rounds(), 1.0);
+  EXPECT_EQ(engine.ledger().total_messages(), 0u);
+}
+
+TEST(CongestEngine, FloodLedgerChargeIsPinned) {
+  // Exact engine-run charge for the P6 flood: the farthest node (distance
+  // 5) hears in round 4 and refloods; round 5 delivers its flood — 6
+  // rounds total, and every node floods once, so messages = sum of
+  // degrees = 2m = 10. Pins the engine's cost model across refactors.
+  const Graph g = path_graph(6);
+  CongestEngine engine(g, [](NodeId v) {
+    return std::make_unique<FloodProgram>(v);
+  });
+  EXPECT_EQ(engine.run(), 6);
+  EXPECT_DOUBLE_EQ(engine.ledger().total_rounds(), 6.0);
+  EXPECT_EQ(engine.ledger().total_messages(),
+            static_cast<std::uint64_t>(2 * g.edge_count()));
+}
+
+
+TEST(CongestNetwork, InboxEmptyWhileNextPhaseIsOpen) {
+  const Graph g = path_graph(3);
+  CongestNetwork net(g);
+  net.begin_phase("a");
+  net.send(0, 1, Message{.tag = 1});
+  net.end_phase();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  // Opening the next phase hides the previous phase's deliveries...
+  net.begin_phase("b");
+  EXPECT_TRUE(net.inbox(1).empty());
+  // ...and an empty phase leaves every inbox empty.
+  net.end_phase();
+  EXPECT_TRUE(net.inbox(1).empty());
+}
+
+/// Regression for the per-phase O(2m) edge-load zero-fill: the network now
+/// clears only the directed-edge slots the previous phase touched, so a
+/// long sequence of sparse phases must charge exactly what the same phases
+/// cost on a fresh network each time (no load may leak across phases).
+TEST(CongestNetwork, SparsePhaseSequenceChargesLikeFreshNetworks) {
+  Rng gen(99);
+  const Graph g = erdos_renyi_gnm(60, 400, gen);
+  CongestNetwork net(g);
+  double expected_rounds = 0.0;
+  std::uint64_t expected_msgs = 0;
+  for (int phase = 0; phase < 60; ++phase) {
+    CongestNetwork fresh(g);
+    net.begin_phase("sparse");
+    fresh.begin_phase("sparse");
+    if (phase % 10 == 9) {
+      // Occasional dense burst so sparse phases run right after a phase
+      // that touched every slot.
+      for (EdgeId e = 0; e < g.edge_count(); ++e) {
+        const Edge& ed = g.edge(e);
+        net.send(ed.u, ed.v, Message{.tag = phase});
+        fresh.send(ed.u, ed.v, Message{.tag = phase});
+        expected_msgs += 1;
+      }
+    } else {
+      const int sends = 1 + phase % 3;
+      for (int i = 0; i < sends; ++i) {
+        const auto e = static_cast<EdgeId>(gen.next_below(
+            static_cast<std::uint64_t>(g.edge_count())));
+        const Edge& ed = g.edge(e);
+        const bool forward = gen.next_bool(0.5);
+        const NodeId from = forward ? ed.u : ed.v;
+        const NodeId to = forward ? ed.v : ed.u;
+        net.send(from, to, Message{.tag = i});
+        fresh.send(from, to, Message{.tag = i});
+        expected_msgs += 1;
+      }
+    }
+    const auto fresh_rounds = fresh.end_phase();
+    EXPECT_EQ(net.end_phase(), fresh_rounds) << "phase " << phase;
+    expected_rounds += static_cast<double>(fresh_rounds);
+  }
+  EXPECT_DOUBLE_EQ(net.ledger().total_rounds(), expected_rounds);
+  EXPECT_EQ(net.ledger().total_messages(), expected_msgs);
+  EXPECT_EQ(net.phase_count(), 60u);
+}
 
 /// Differential fuzz: the network's congestion accounting must equal a
 /// slow reference computation (per-directed-edge counters built

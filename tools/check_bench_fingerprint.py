@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Diff the cost-model fingerprints of two BENCH_*.json snapshots.
+
+Usage: check_bench_fingerprint.py CURRENT BASELINE
+
+The counters recorded by the self-timed harnesses (clique totals,
+round-ledger sums, per-phase round costs) are produced with fixed seeds
+and are part of the *cost model*, not the measurement: any drift means a
+perf change altered the simulated algorithm. This script compares the
+counters of every benchmark present in both files and exits non-zero on
+
+  * a counter value that differs (bit-exact compare on the %.17g text),
+  * a benchmark with counters that exists in BASELINE but is missing from
+    CURRENT (fingerprint coverage must never shrink silently).
+
+Timings (ns_per_op, items_per_sec, iterations) are ignored entirely, so
+the check is machine- and settings-independent; benchmarks new in CURRENT
+are reported but do not fail the check. Used by the CI bench-smoke job to
+diff BENCH_core.ci.json against the committed BENCH_core.json.
+"""
+
+import json
+import sys
+
+
+def load_counters(path):
+    with open(path) as f:
+        snapshot = json.load(f)
+    return {
+        b["name"]: b.get("counters", {})
+        for b in snapshot.get("benchmarks", [])
+    }
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    current = load_counters(argv[1])
+    baseline = load_counters(argv[2])
+
+    drift = []
+    for name, base_counters in sorted(baseline.items()):
+        if not base_counters:
+            continue
+        if name not in current:
+            drift.append(f"{name}: missing from {argv[1]}")
+            continue
+        cur_counters = current[name]
+        for key, base_value in sorted(base_counters.items()):
+            cur_value = cur_counters.get(key)
+            # %.17g round-trips doubles exactly; compare the repr to stay
+            # bit-exact without re-deriving float tolerance rules.
+            if cur_value is None or repr(cur_value) != repr(base_value):
+                drift.append(
+                    f"{name}: counter '{key}' drifted "
+                    f"(baseline {base_value!r}, current {cur_value!r})")
+
+    new = sorted(set(current) - set(baseline))
+    if new:
+        print(f"note: {len(new)} benchmark(s) not in baseline "
+              f"(allowed): {', '.join(new)}")
+
+    if drift:
+        print(f"FINGERPRINT DRIFT ({len(drift)} issue(s)):")
+        for line in drift:
+            print(f"  {line}")
+        return 1
+    checked = sum(1 for n, c in baseline.items() if c and n in current)
+    print(f"fingerprints OK: {checked} benchmark(s) bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,6 +7,10 @@
 #   tools/run_bench.sh -o /tmp/run.json     # alternative output path
 #   DCL_BENCH_REPS=1 DCL_BENCH_MIN_MS=5 tools/run_bench.sh   # CI smoke
 #
+# Path resolution: a relative BUILD_DIR *and* a relative -o output path are
+# both resolved against the repository root (not the caller's cwd), so the
+# script behaves identically no matter where it is invoked from.
+#
 # Honours BUILD_DIR, CMAKE_ARGS, and JOBS like tools/run_tier1.sh. The
 # timing-loop knobs DCL_BENCH_REPS / DCL_BENCH_MIN_MS are forwarded to the
 # harness (defaults: 5 repetitions, 150 ms minimum per repetition).
@@ -27,6 +31,10 @@ done
 case "${BUILD_DIR}" in
   /*) ;;
   *) BUILD_DIR="${REPO_ROOT}/${BUILD_DIR}" ;;
+esac
+case "${OUT}" in
+  /*) ;;
+  *) OUT="${REPO_ROOT}/${OUT}" ;;
 esac
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release \
