@@ -45,15 +45,24 @@ InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
   const std::vector<std::int64_t> cover = coverage_table(tuple, q);
 
   // Step 3: bucket every known edge by its unordered part pair, tracking
-  // exact send loads (holder sends each edge to every covering node).
-  std::vector<std::vector<KnownEdge>> bucket(static_cast<std::size_t>(q * q));
+  // exact send loads (holder sends each edge to every covering node). The
+  // goal flag is resolved here, once per held edge per cluster — each
+  // representative below reads it for free instead of re-deriving it with
+  // base-graph edge_id binary searches (ROADMAP lever b).
+  struct HeldEdge {
+    KnownEdge e;
+    bool goal = false;
+  };
+  std::vector<std::vector<HeldEdge>> bucket(static_cast<std::size_t>(q * q));
   std::vector<std::int64_t> send_load(static_cast<std::size_t>(k), 0);
   for (NodeId holder = 0; holder < k; ++holder) {
     for (const KnownEdge& e : holders[static_cast<std::size_t>(holder)]) {
       const int a = part[static_cast<std::size_t>(e.tail)];
       const int b = part[static_cast<std::size_t>(e.head)];
       const int idx = pair_index(a, b, q);
-      bucket[static_cast<std::size_t>(idx)].push_back(e);
+      const auto eid = base.edge_id(e.tail, e.head);
+      bucket[static_cast<std::size_t>(idx)].push_back(
+          HeldEdge{e, eid.has_value() && (*problem.goal_edge)[*eid]});
       send_load[static_cast<std::size_t>(holder)] +=
           cover[static_cast<std::size_t>(idx)];
     }
@@ -68,7 +77,7 @@ InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
   // from the sorted flat table.
   const std::vector<NodeId> rep = representative_table(tuple, q);
   std::vector<std::int64_t> recv_load(static_cast<std::size_t>(k), 0);
-  std::vector<KnownEdge> local_edges;
+  std::vector<HeldEdge> local_edges;
   // Dense global→compact interning table over base ids. thread_local so
   // the O(n) buffer is NOT re-allocated per cluster call (arb_list calls
   // this once per cluster): all slots are -1 between uses — each use
@@ -112,32 +121,59 @@ InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
       }
       return slot;
     };
-    for (const KnownEdge& e : local_edges) {
-      edges.push_back(make_edge(intern(e.tail), intern(e.head)));
+    std::size_t goal_count = 0;
+    for (const HeldEdge& he : local_edges) {
+      edges.push_back(make_edge(intern(he.e.tail), intern(he.e.head)));
+      goal_count += static_cast<std::size_t>(he.goal);
     }
+    // A representative that received no goal edge can skip its enumeration
+    // entirely: nothing it lists could be reported.
+    if (goal_count == 0) continue;
+    // When *every* received edge is a goal edge (the common dense-goal
+    // case), every listed clique trivially qualifies — no bitmap, no
+    // per-clique checks.
+    const bool all_goal = goal_count == local_edges.size();
+    // The bitmap build below needs the pre-sort pair order (from_edges
+    // moves and sorts `edges`); only the mixed-goal case reads it.
+    std::vector<Edge> local_pairs;
+    if (!all_goal) local_pairs = edges;
     const Graph local = Graph::from_edges(
         static_cast<NodeId>(compact_to_global.size()), std::move(edges));
+    // Goal bitmap over *local* edge ids: the flags resolved at bucket time
+    // land on local ids with one local (small, cache-hot) edge_id lookup
+    // per received edge, so the per-clique goal checks below never touch
+    // the base graph — up to p(p-1)/2 base-graph binary searches per
+    // listed clique in the old scheme (every clique pair is a local edge
+    // by construction, so the local mask answers the same question).
+    EdgeMask local_goal;
+    if (!all_goal) {
+      local_goal.assign(local.edge_count(), false);
+      for (std::size_t i = 0; i < local_edges.size(); ++i) {
+        if (!local_edges[i].goal) continue;
+        local_goal.set(*local.edge_id(local_pairs[i].u, local_pairs[i].v));
+      }
+    }
     const auto cliques = list_k_cliques(local, p);
+    // Reserve hint: the dedup table absorbs this enumeration without a
+    // growth rehash (duplication-discounted inside reserve_additional).
+    out.reserve_additional(cliques.size());
     std::vector<NodeId> global(static_cast<std::size_t>(p));
     for (const auto& c : cliques) {
+      // Report only cliques containing at least one goal edge of C — the
+      // task assigned to this cluster (others are other iterations' work).
+      bool has_goal = all_goal;
+      for (std::size_t x = 0; x < c.size() && !has_goal; ++x) {
+        for (std::size_t y = x + 1; y < c.size() && !has_goal; ++y) {
+          const auto leid = local.edge_id(c[x], c[y]);
+          has_goal = local_goal[*leid];
+        }
+      }
+      if (!has_goal) continue;
       for (std::size_t i = 0; i < c.size(); ++i) {
         global[i] = compact_to_global[static_cast<std::size_t>(c[i])];
       }
-      // Report only cliques containing at least one goal edge of C — the
-      // task assigned to this cluster (others are other iterations' work).
-      bool has_goal = false;
-      for (std::size_t x = 0; x < global.size() && !has_goal; ++x) {
-        for (std::size_t y = x + 1; y < global.size() && !has_goal; ++y) {
-          const auto eid = base.edge_id(global[x], global[y]);
-          if (eid && (*problem.goal_edge)[*eid]) {
-            has_goal = true;
-          }
-        }
-      }
-      if (has_goal) {
-        out.report(cluster.nodes[static_cast<std::size_t>(j)], global);
-        ++cost.cliques_reported;
-      }
+      out.report(cluster.nodes[static_cast<std::size_t>(j)], global);
+      ++cost.cliques_reported;
     }
   }
 

@@ -33,6 +33,26 @@ class ListingOutput {
     unique_.insert(clique);
   }
 
+  /// Reserve hint: the caller is about to report up to `upcoming` cliques
+  /// (e.g. a local enumeration whose size is known before the report
+  /// loop). Pre-sizes the dedup table so those reports trigger no growth
+  /// rehash. The raw count is discounted by the duplication factor
+  /// observed so far: reports far exceed uniques in the heavy phases, and
+  /// a table sized for reports (instead of uniques) costs cache on every
+  /// subsequent probe.
+  void reserve_additional(std::size_t upcoming) {
+    const double dup = duplication_factor();
+    if (dup > 1.0) {
+      upcoming = static_cast<std::size_t>(static_cast<double>(upcoming) / dup);
+    }
+    unique_.reserve(unique_.size() + upcoming);
+  }
+
+  /// Retracts a previously reported clique (delta support for dynamic
+  /// maintenance); returns true if it was present. Per-node report totals
+  /// are cumulative traffic statistics and are deliberately not unwound.
+  bool retract(std::span<const NodeId> clique) { return unique_.erase(clique); }
+
   const CliqueSet& cliques() const { return unique_; }
   std::uint64_t total_reports() const { return total_reports_; }
   std::uint64_t unique_count() const { return unique_.size(); }

@@ -1,0 +1,195 @@
+#include "dynamic/dynamic_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dcl {
+
+namespace {
+
+void check_endpoints(NodeId n, NodeId a, NodeId b) {
+  if (a == b) throw std::invalid_argument("DynamicGraph: self-loop");
+  if (a < 0 || b < 0 || a >= n || b >= n) {
+    throw std::invalid_argument("DynamicGraph: endpoint out of range");
+  }
+}
+
+}  // namespace
+
+DynamicGraph::DynamicGraph(NodeId n) : n_(n) {
+  if (n < 0) throw std::invalid_argument("DynamicGraph: negative node count");
+  seg_.assign(static_cast<std::size_t>(n), Segment{});
+}
+
+DynamicGraph DynamicGraph::from_graph(const Graph& g) {
+  DynamicGraph d(g.node_count());
+  // Lay the arena out in node order with a little slack per segment, so a
+  // seeded graph starts as compact as a static CSR but absorbs the first
+  // few inserts without relocating.
+  std::size_t total = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    Segment& s = d.seg_[static_cast<std::size_t>(v)];
+    s.offset = total;
+    s.size = g.degree(v);
+    s.capacity = static_cast<NodeId>(s.size + s.size / 4 + 2);
+    total += static_cast<std::size_t>(s.capacity);
+  }
+  d.arena_adj_.assign(total, -1);
+  d.arena_eid_.assign(total, -1);
+  d.arena_used_ = total;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const Segment& s = d.seg_[static_cast<std::size_t>(v)];
+    const auto nbrs = g.neighbors(v);
+    const auto eids = g.incident_edges(v);
+    std::copy(nbrs.begin(), nbrs.end(), d.arena_adj_.begin() +
+                                            static_cast<std::ptrdiff_t>(s.offset));
+    std::copy(eids.begin(), eids.end(), d.arena_eid_.begin() +
+                                            static_cast<std::ptrdiff_t>(s.offset));
+  }
+  d.edges_.assign(g.edges().begin(), g.edges().end());
+  d.live_.assign(g.edge_count(), true);
+  d.live_count_ = g.edge_count();
+  return d;
+}
+
+NodeId DynamicGraph::find_in_segment(NodeId v, NodeId b) const {
+  const auto nbrs = neighbors(v);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), b);
+  if (it == nbrs.end() || *it != b) return -1;
+  return static_cast<NodeId>(it - nbrs.begin());
+}
+
+std::optional<EdgeId> DynamicGraph::edge_id(NodeId a, NodeId b) const {
+  if (a == b || a < 0 || b < 0 || a >= n_ || b >= n_) return std::nullopt;
+  // Probe the lower-degree endpoint, like the static graph.
+  if (degree(b) < degree(a)) std::swap(a, b);
+  const NodeId at = find_in_segment(a, b);
+  if (at < 0) return std::nullopt;
+  const Segment& s = seg_[static_cast<std::size_t>(a)];
+  return arena_eid_[s.offset + static_cast<std::size_t>(at)];
+}
+
+void DynamicGraph::relocate(NodeId v) {
+  Segment& s = seg_[static_cast<std::size_t>(v)];
+  const auto new_cap =
+      static_cast<NodeId>(std::max<NodeId>(4, s.size + s.size / 2 + 1));
+  const std::size_t new_offset = arena_used_;
+  arena_used_ += static_cast<std::size_t>(new_cap);
+  if (arena_used_ > arena_adj_.size()) {
+    arena_adj_.resize(arena_used_ + arena_used_ / 2, -1);
+    arena_eid_.resize(arena_adj_.size(), -1);
+  }
+  std::copy_n(arena_adj_.begin() + static_cast<std::ptrdiff_t>(s.offset),
+              s.size,
+              arena_adj_.begin() + static_cast<std::ptrdiff_t>(new_offset));
+  std::copy_n(arena_eid_.begin() + static_cast<std::ptrdiff_t>(s.offset),
+              s.size,
+              arena_eid_.begin() + static_cast<std::ptrdiff_t>(new_offset));
+  s.offset = new_offset;
+  s.capacity = new_cap;
+  ++relocations_;
+  // Compact when dead slack dominates the arena: live adjacency is 2m
+  // slots, so a 3x bound keeps the arena linear in the live graph.
+  const std::size_t live_slots =
+      2 * static_cast<std::size_t>(live_count_) + static_cast<std::size_t>(n_);
+  if (arena_used_ > 1024 && arena_used_ > 3 * live_slots) compact();
+}
+
+void DynamicGraph::compact() {
+  std::vector<NodeId> new_adj;
+  std::vector<EdgeId> new_eid;
+  std::size_t total = 0;
+  for (const Segment& s : seg_) {
+    total += static_cast<std::size_t>(s.size + s.size / 4 + 2);
+  }
+  new_adj.assign(total, -1);
+  new_eid.assign(total, -1);
+  std::size_t at = 0;
+  for (Segment& s : seg_) {
+    std::copy_n(arena_adj_.begin() + static_cast<std::ptrdiff_t>(s.offset),
+                s.size, new_adj.begin() + static_cast<std::ptrdiff_t>(at));
+    std::copy_n(arena_eid_.begin() + static_cast<std::ptrdiff_t>(s.offset),
+                s.size, new_eid.begin() + static_cast<std::ptrdiff_t>(at));
+    s.offset = at;
+    s.capacity = static_cast<NodeId>(s.size + s.size / 4 + 2);
+    at += static_cast<std::size_t>(s.capacity);
+  }
+  arena_adj_ = std::move(new_adj);
+  arena_eid_ = std::move(new_eid);
+  arena_used_ = total;
+  ++compactions_;
+}
+
+std::pair<EdgeId, bool> DynamicGraph::insert_edge(NodeId a, NodeId b) {
+  check_endpoints(n_, a, b);
+  if (const auto existing = edge_id(a, b)) return {*existing, false};
+
+  EdgeId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();  // most recently freed id, reused LIFO
+    free_ids_.pop_back();
+    edges_[static_cast<std::size_t>(id)] = make_edge(a, b);
+  } else {
+    id = static_cast<EdgeId>(edges_.size());
+    edges_.push_back(make_edge(a, b));
+    live_.resize(static_cast<std::int64_t>(edges_.size()));
+  }
+  live_.set(id);
+  ++live_count_;
+
+  for (const auto& [v, w] :
+       {std::pair<NodeId, NodeId>{a, b}, std::pair<NodeId, NodeId>{b, a}}) {
+    Segment* s = &seg_[static_cast<std::size_t>(v)];
+    if (s->size == s->capacity) {
+      relocate(v);
+      s = &seg_[static_cast<std::size_t>(v)];  // compact() may have moved it
+    }
+    const auto nbrs = neighbors(v);
+    const auto pos = static_cast<std::size_t>(
+        std::lower_bound(nbrs.begin(), nbrs.end(), w) - nbrs.begin());
+    NodeId* adj = arena_adj_.data() + s->offset;
+    EdgeId* eid = arena_eid_.data() + s->offset;
+    for (std::size_t i = static_cast<std::size_t>(s->size); i > pos; --i) {
+      adj[i] = adj[i - 1];
+      eid[i] = eid[i - 1];
+    }
+    adj[pos] = w;
+    eid[pos] = id;
+    ++s->size;
+  }
+  return {id, true};
+}
+
+std::optional<EdgeId> DynamicGraph::erase_edge(NodeId a, NodeId b) {
+  check_endpoints(n_, a, b);
+  const auto id = edge_id(a, b);
+  if (!id) return std::nullopt;
+
+  for (const auto& [v, w] :
+       {std::pair<NodeId, NodeId>{a, b}, std::pair<NodeId, NodeId>{b, a}}) {
+    Segment& s = seg_[static_cast<std::size_t>(v)];
+    const NodeId at = find_in_segment(v, w);
+    NodeId* adj = arena_adj_.data() + s.offset;
+    EdgeId* eid = arena_eid_.data() + s.offset;
+    for (std::size_t i = static_cast<std::size_t>(at);
+         i + 1 < static_cast<std::size_t>(s.size); ++i) {
+      adj[i] = adj[i + 1];
+      eid[i] = eid[i + 1];
+    }
+    --s.size;
+  }
+  live_.reset(*id);
+  --live_count_;
+  free_ids_.push_back(*id);
+  return id;
+}
+
+Graph DynamicGraph::snapshot() const {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(live_count_));
+  live_.for_each_set(
+      [&](std::int64_t e) { edges.push_back(edges_[static_cast<std::size_t>(e)]); });
+  return Graph::from_edges(n_, std::move(edges));
+}
+
+}  // namespace dcl

@@ -1,0 +1,124 @@
+// Mutable undirected simple graph with batched updates and stable edge ids.
+//
+// The static `Graph` is immutable by design: every listing algorithm in the
+// repository indexes edge subsets, orientations, and masks by dense edge
+// ids, so edges must never move. `DynamicGraph` keeps that contract under
+// insertions and deletions:
+//  * every live edge has a stable id, assigned at insertion and unchanged
+//    until the edge is erased (erased ids are recycled for later inserts,
+//    so the id space stays dense enough for EdgeMask indexing);
+//  * adjacency is a CSR-with-slack arena: each node owns a contiguous,
+//    *sorted* segment with spare capacity, so `neighbors(v)` is a sorted
+//    span exactly like the static CSR and the intersect kernels of
+//    common/intersect.h run on it unchanged. An insert into a full segment
+//    relocates that segment to the arena tail with fresh slack (amortized
+//    O(1) per update); when the arena is mostly dead space it is compacted
+//    in node order.
+//
+// `snapshot()` materializes the live edges as a static `Graph` — the
+// bridge to every from-scratch oracle the differential tests compare the
+// dynamic engine against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/edge_mask.h"
+#include "graph/graph.h"
+
+namespace dcl {
+
+class DynamicGraph {
+ public:
+  explicit DynamicGraph(NodeId n);
+
+  /// Seeds a dynamic graph with the edges of `g`; edge ids coincide with
+  /// the static ids of `g` (0..m-1) at construction.
+  static DynamicGraph from_graph(const Graph& g);
+
+  NodeId node_count() const { return n_; }
+  /// Number of live edges (erased edges excluded).
+  EdgeId edge_count() const { return live_count_; }
+  /// One past the largest edge id ever assigned: the index bound for any
+  /// per-edge-id array or EdgeMask (erased ids below this may be dead).
+  EdgeId edge_id_bound() const { return static_cast<EdgeId>(edges_.size()); }
+
+  bool is_live(EdgeId e) const { return live_.test(e); }
+  /// Bitmap of live edge ids over [0, edge_id_bound()).
+  const EdgeMask& live_edges() const { return live_; }
+
+  /// Endpoints of a live edge id (normalized u < v).
+  const Edge& edge(EdgeId e) const {
+    return edges_[static_cast<std::size_t>(e)];
+  }
+
+  NodeId degree(NodeId v) const {
+    return static_cast<NodeId>(seg_[static_cast<std::size_t>(v)].size);
+  }
+
+  /// Sorted neighbor list of v. Invalidated by any mutation.
+  std::span<const NodeId> neighbors(NodeId v) const {
+    const Segment& s = seg_[static_cast<std::size_t>(v)];
+    return {arena_adj_.data() + s.offset, static_cast<std::size_t>(s.size)};
+  }
+
+  /// Edge ids aligned with `neighbors(v)`.
+  std::span<const EdgeId> incident_edges(NodeId v) const {
+    const Segment& s = seg_[static_cast<std::size_t>(v)];
+    return {arena_eid_.data() + s.offset, static_cast<std::size_t>(s.size)};
+  }
+
+  bool has_edge(NodeId a, NodeId b) const { return edge_id(a, b).has_value(); }
+  std::optional<EdgeId> edge_id(NodeId a, NodeId b) const;
+
+  /// Inserts edge {a,b}. Returns (id, true) for a new edge — recycling the
+  /// most recently freed id when one exists — or (existing id, false)
+  /// if the edge is already live. Throws on self-loops / out-of-range ids.
+  std::pair<EdgeId, bool> insert_edge(NodeId a, NodeId b);
+
+  /// Erases edge {a,b}; returns its (now recycled) id, or nullopt if the
+  /// edge was not live.
+  std::optional<EdgeId> erase_edge(NodeId a, NodeId b);
+
+  /// Static CSR of the live edges (edges sorted lexicographically; the
+  /// static ids are the sort ranks, not the dynamic ids).
+  Graph snapshot() const;
+
+  /// Maintenance counters (observability for tests and benches).
+  std::uint64_t relocations() const { return relocations_; }
+  std::uint64_t compactions() const { return compactions_; }
+  std::size_t arena_slots() const { return arena_adj_.size(); }
+
+ private:
+  struct Segment {
+    std::size_t offset = 0;
+    NodeId size = 0;
+    NodeId capacity = 0;
+  };
+
+  /// Index of `b` within v's sorted segment, or -1 when absent.
+  NodeId find_in_segment(NodeId v, NodeId b) const;
+  /// Moves v's segment to the arena tail with capacity for one more entry.
+  void relocate(NodeId v);
+  /// Rebuilds the arena in node order when dead slack dominates.
+  void compact();
+
+  NodeId n_ = 0;
+  EdgeId live_count_ = 0;
+  std::vector<Segment> seg_;
+  std::vector<NodeId> arena_adj_;
+  std::vector<EdgeId> arena_eid_;
+  std::size_t arena_used_ = 0;  ///< high-water mark; slots past it are free
+
+  std::vector<Edge> edges_;      ///< by edge id; erased ids keep stale values
+  EdgeMask live_;                ///< live flag per edge id
+  std::vector<EdgeId> free_ids_; ///< recycled ids, popped from the back
+
+  std::uint64_t relocations_ = 0;
+  std::uint64_t compactions_ = 0;
+};
+
+}  // namespace dcl

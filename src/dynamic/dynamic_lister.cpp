@@ -1,0 +1,100 @@
+#include "dynamic/dynamic_lister.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dcl {
+
+namespace {
+
+void check_p(int p) {
+  if (p < 2) {
+    throw std::invalid_argument("DynamicLister: p must be at least 2");
+  }
+}
+
+}  // namespace
+
+DynamicLister::DynamicLister(NodeId n, int p)
+    : p_((check_p(p), p)),
+      graph_(n),
+      orientation_(graph_),
+      scratch_(make_delta_scratch(p)) {}
+
+DynamicLister::DynamicLister(const Graph& seed, int p)
+    : p_((check_p(p), p)),
+      graph_(DynamicGraph::from_graph(seed)),
+      orientation_(graph_),
+      scratch_(make_delta_scratch(p)) {
+  const auto all = list_k_cliques(seed, p);
+  cliques_.reserve(all.size());
+  for (const auto& c : all) cliques_.insert(c);
+  stats_.clique_count = cliques_.size();
+  stats_.fingerprint = cliques_.fingerprint();
+  stats_.arboricity_witness = orientation_.max_out_degree();
+}
+
+ListingDelta DynamicLister::apply(const UpdateBatch& batch) {
+  stats_ = DynamicBatchStats{};
+  CliqueSet batch_added;
+  CliqueSet batch_removed;
+  const auto neighbors = [this](NodeId x) { return graph_.neighbors(x); };
+
+  // Deletions first: enumerate each doomed edge's cliques while the edge
+  // is still present, then drop it — later deleted edges of the same
+  // clique no longer see it complete, so each loss is recorded once.
+  for (const Edge& e : batch.erase) {
+    if (!graph_.has_edge(e.u, e.v)) {
+      ++stats_.skipped_erases;
+      continue;
+    }
+    for_each_clique_with_edge(neighbors, e.u, e.v, p_, scratch_,
+                              [&](std::span<const NodeId> clique) {
+                                if (cliques_.erase(clique)) {
+                                  batch_removed.insert(clique);
+                                }
+                              });
+    const auto id = graph_.erase_edge(e.u, e.v);
+    orientation_.on_erase(*id);
+    ++stats_.erased_edges;
+  }
+
+  // Insertions: each new edge is enumerated in the graph that already
+  // contains it (and every earlier insert), so a clique spanning several
+  // inserted edges completes — and is recorded — exactly at the last one.
+  for (const Edge& e : batch.insert) {
+    const auto [id, fresh] = graph_.insert_edge(e.u, e.v);
+    if (!fresh) {
+      ++stats_.skipped_inserts;
+      continue;
+    }
+    orientation_.on_insert(id);
+    for_each_clique_with_edge(neighbors, e.u, e.v, p_, scratch_,
+                              [&](std::span<const NodeId> clique) {
+                                if (cliques_.insert(clique)) {
+                                  // Re-added after a removal earlier in
+                                  // this batch: pure churn, net zero.
+                                  if (!batch_removed.erase(clique)) {
+                                    batch_added.insert(clique);
+                                  }
+                                }
+                              });
+    ++stats_.inserted_edges;
+  }
+
+  stats_.orientation_flips = orientation_.flush();
+  stats_.cliques_added = batch_added.size();
+  stats_.cliques_removed = batch_removed.size();
+  stats_.clique_count = cliques_.size();
+  stats_.fingerprint = cliques_.fingerprint();
+  stats_.arboricity_witness = orientation_.max_out_degree();
+
+  ListingDelta delta;
+  delta.added = batch_added.to_vector();
+  delta.removed = batch_removed.to_vector();
+  std::sort(delta.added.begin(), delta.added.end());
+  std::sort(delta.removed.begin(), delta.removed.end());
+  return delta;
+}
+
+}  // namespace dcl

@@ -1,0 +1,93 @@
+// Batch-dynamic Kp maintenance: the stateful execution model.
+//
+// Every lister in this repository so far answers one snapshot and forgets.
+// `DynamicLister` instead *owns* the clique set across an update stream:
+// per batch it enumerates exactly the cliques touching inserted edges
+// (delta kernels, enumeration/delta_kernels.h) and retracts the cliques
+// touching deleted edges, so the amortized per-batch cost is proportional
+// to the cliques that changed — not to the graph (measured ≥5x over
+// from-scratch recompute on small-batch churn; see docs/PERFORMANCE.md,
+// "Dynamic maintenance").
+//
+// Batch semantics (mirrors graph/workloads.h UpdateBatch): deletions are
+// applied first, one edge at a time against the current graph — each
+// deleted edge's cliques are enumerated *before* the edge is removed, so a
+// clique with several deleted edges is retracted exactly once, at the
+// first of them. Insertions follow, also one at a time, each enumerated in
+// the graph-so-far — a clique with several inserted edges appears exactly
+// once, at the last of them. A clique retracted and re-added inside one
+// batch (delete + re-insert churn) cancels out of the reported delta.
+//
+// Invariant (the differential contract, enforced per checkpoint by
+// tests/test_dynamic_lister.cpp and test_dynamic_sweep.cpp): after any
+// prefix of batches, `cliques()` is bit-identical — membership and
+// order-independent fingerprint — to a from-scratch static enumeration of
+// `graph().snapshot()`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamic/dynamic_graph.h"
+#include "dynamic/dynamic_orientation.h"
+#include "enumeration/clique_enumeration.h"
+#include "enumeration/delta_kernels.h"
+#include "graph/workloads.h"
+
+namespace dcl {
+
+/// What one batch changed: canonical sorted clique lists. Churn inside the
+/// batch (a clique removed and re-added, or vice versa) nets to zero and
+/// appears in neither list.
+struct ListingDelta {
+  std::vector<Clique> added;
+  std::vector<Clique> removed;
+};
+
+/// Per-batch observability counters; all deterministic for a fixed
+/// (seed graph, stream) pair, so benches record them as fingerprints.
+struct DynamicBatchStats {
+  std::int64_t inserted_edges = 0;   ///< applied (non-duplicate) inserts
+  std::int64_t erased_edges = 0;     ///< applied (present) erases
+  std::int64_t skipped_inserts = 0;  ///< already-live edges in the batch
+  std::int64_t skipped_erases = 0;   ///< not-live edges in the batch
+  std::uint64_t cliques_added = 0;
+  std::uint64_t cliques_removed = 0;
+  std::uint64_t clique_count = 0;       ///< total after the batch
+  std::uint64_t fingerprint = 0;        ///< CliqueSet fingerprint after
+  NodeId arboricity_witness = 0;        ///< orientation max out-degree
+  std::uint64_t orientation_flips = 0;  ///< flips this batch's flush cost
+};
+
+class DynamicLister {
+ public:
+  /// Empty graph on n nodes.
+  DynamicLister(NodeId n, int p);
+  /// Seeded: enumerates `seed` once (static kernels) and maintains from
+  /// there. The clique table is reserved from the exact enumeration size —
+  /// the expected-clique reserve hint, applied at the one place the count
+  /// is known.
+  DynamicLister(const Graph& seed, int p);
+
+  int p() const { return p_; }
+  const DynamicGraph& graph() const { return graph_; }
+  const DynamicOrientation& orientation() const { return orientation_; }
+  const CliqueSet& cliques() const { return cliques_; }
+  std::uint64_t clique_count() const { return cliques_.size(); }
+  std::uint64_t fingerprint() const { return cliques_.fingerprint(); }
+
+  /// Applies one batch; returns the net delta and refreshes last_stats().
+  ListingDelta apply(const UpdateBatch& batch);
+
+  const DynamicBatchStats& last_stats() const { return stats_; }
+
+ private:
+  int p_;
+  DynamicGraph graph_;
+  DynamicOrientation orientation_;
+  CliqueSet cliques_;
+  DeltaScratch scratch_;
+  DynamicBatchStats stats_;
+};
+
+}  // namespace dcl

@@ -1,0 +1,127 @@
+#include "dynamic/dynamic_orientation.h"
+
+#include <algorithm>
+
+#include "graph/orientation.h"
+
+namespace dcl {
+
+DynamicOrientation::DynamicOrientation(const DynamicGraph& g) : g_(&g) {
+  out_.assign(static_cast<std::size_t>(g.node_count()), {});
+  queued_.assign(g.node_count(), false);
+  rebuild();
+}
+
+void DynamicOrientation::push_out(NodeId v, EdgeId e) {
+  auto& list = out_[static_cast<std::size_t>(v)];
+  pos_in_out_[static_cast<std::size_t>(e)] =
+      static_cast<std::int32_t>(list.size());
+  list.push_back(e);
+}
+
+void DynamicOrientation::remove_from_out(NodeId v, EdgeId e) {
+  auto& list = out_[static_cast<std::size_t>(v)];
+  const auto at =
+      static_cast<std::size_t>(pos_in_out_[static_cast<std::size_t>(e)]);
+  const EdgeId moved = list.back();
+  list[at] = moved;
+  pos_in_out_[static_cast<std::size_t>(moved)] = static_cast<std::int32_t>(at);
+  list.pop_back();
+}
+
+void DynamicOrientation::on_insert(EdgeId e) {
+  if (static_cast<std::int64_t>(e) >= away_.size()) {
+    away_.resize(g_->edge_id_bound());
+    pos_in_out_.resize(static_cast<std::size_t>(g_->edge_id_bound()), -1);
+  }
+  const Edge& ed = g_->edge(e);
+  // Away from the smaller out-degree (ties toward the lower endpoint,
+  // which is ed.u): the greedy rule of the Brodal–Fagerberg scheme,
+  // fully deterministic.
+  const NodeId t = (out_degree(ed.u) <= out_degree(ed.v)) ? ed.u : ed.v;
+  away_.set(e, t == ed.u);
+  push_out(t, e);
+  if (out_degree(t) > cap_ && !queued_.test(t)) {
+    queued_.set(t);
+    over_cap_.push_back(t);
+  }
+}
+
+void DynamicOrientation::on_erase(EdgeId e) {
+  remove_from_out(tail(e), e);
+  pos_in_out_[static_cast<std::size_t>(e)] = -1;
+}
+
+std::uint64_t DynamicOrientation::flush() {
+  std::uint64_t flips = 0;
+  // Generous budget: with a correct cap the amortized flip count per
+  // update is O(1); blowing this bound means the cap sits below the live
+  // arboricity, so double it and keep going (termination: a cap at or
+  // above the maximum degree can never be exceeded again).
+  std::uint64_t budget =
+      8 * (static_cast<std::uint64_t>(g_->edge_count()) +
+           static_cast<std::uint64_t>(g_->node_count()) + 16);
+  std::vector<EdgeId> flipping;
+  for (std::size_t at = 0; at < over_cap_.size(); ++at) {
+    const NodeId v = over_cap_[at];
+    queued_.reset(v);
+    if (out_degree(v) <= cap_) continue;
+    if (flips > budget) {
+      cap_ = static_cast<NodeId>(cap_ * 2);
+      ++cap_doublings_;
+      budget *= 2;
+      if (out_degree(v) <= cap_) continue;
+    }
+    // Flip every out-edge of v inward: v drops to out-degree 0, each
+    // former head gains one.
+    flipping.assign(out_[static_cast<std::size_t>(v)].begin(),
+                    out_[static_cast<std::size_t>(v)].end());
+    for (const EdgeId e : flipping) {
+      const NodeId h = head(e);
+      remove_from_out(v, e);
+      away_.set(e, !away_.test(e));
+      push_out(h, e);
+      if (out_degree(h) > cap_ && !queued_.test(h)) {
+        queued_.set(h);
+        over_cap_.push_back(h);
+      }
+    }
+    flips += flipping.size();
+    // v itself is now at zero; no re-queue needed.
+  }
+  over_cap_.clear();
+  total_flips_ += flips;
+  return flips;
+}
+
+NodeId DynamicOrientation::max_out_degree() const {
+  NodeId best = 0;
+  for (const auto& list : out_) {
+    best = std::max(best, static_cast<NodeId>(list.size()));
+  }
+  return best;
+}
+
+void DynamicOrientation::rebuild() {
+  const Graph snap = g_->snapshot();
+  const DegeneracyResult dec = degeneracy_order(snap);
+  std::vector<NodeId> rank(static_cast<std::size_t>(snap.node_count()));
+  for (std::size_t i = 0; i < dec.order.size(); ++i) {
+    rank[static_cast<std::size_t>(dec.order[i])] = static_cast<NodeId>(i);
+  }
+  away_.assign(g_->edge_id_bound(), false);
+  pos_in_out_.assign(static_cast<std::size_t>(g_->edge_id_bound()), -1);
+  for (auto& list : out_) list.clear();
+  g_->live_edges().for_each_set([&](std::int64_t e) {
+    const Edge& ed = g_->edge(e);
+    const bool away = rank[static_cast<std::size_t>(ed.u)] <
+                      rank[static_cast<std::size_t>(ed.v)];
+    away_.set(e, away);
+    push_out(away ? ed.u : ed.v, e);
+  });
+  over_cap_.clear();
+  queued_.assign(g_->node_count(), false);
+  cap_ = std::max<NodeId>(kMinCap, static_cast<NodeId>(2 * dec.degeneracy));
+}
+
+}  // namespace dcl

@@ -1,0 +1,102 @@
+// Incrementally maintained degeneracy-style edge orientation.
+//
+// The paper's entire schedule is driven by an arboricity *witness*: "an
+// orientation with maximum out-degree A" (Theorem 2.8). The static
+// pipeline recomputes that witness with a full degeneracy peel per
+// iteration; under edge updates we maintain it incrementally instead,
+// Brodal–Fagerberg style:
+//  * an inserted edge is oriented away from the endpoint with the smaller
+//    current out-degree (ties toward the lower id — fully deterministic);
+//  * whenever a node's out-degree exceeds the cap, *all* its out-edges are
+//    flipped inward, which resets that node to zero and charges one
+//    out-degree to each former head. With cap ≥ 2·arboricity + 1 the
+//    standard potential argument bounds the cascade; because the true
+//    arboricity is unknown and drifts under updates, the cap self-tunes:
+//    when a fix-up pass blows its flip budget the cap doubles and the pass
+//    resumes (termination is then guaranteed — a cap above the maximum
+//    degree can never be exceeded).
+//
+// Unlike the static peel's orientation this one is not acyclic (a flip can
+// close a cycle), so it must NOT be used to direct clique enumeration —
+// its job is the out-degree bound itself: `max_out_degree()` is the live
+// arboricity witness the dynamic engine reports per batch, and the bound
+// is test-enforced against the static peel on every rebuild
+// (tests/test_dynamic_orientation.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dynamic/dynamic_graph.h"
+#include "graph/edge_mask.h"
+#include "graph/graph.h"
+
+namespace dcl {
+
+class DynamicOrientation {
+ public:
+  /// Binds to `g` (which must outlive this object) and runs `rebuild()`.
+  explicit DynamicOrientation(const DynamicGraph& g);
+
+  /// Must be called for every DynamicGraph::insert_edge, with its id.
+  void on_insert(EdgeId e);
+  /// Must be called for every DynamicGraph::erase_edge, with its id,
+  /// *after* the edge is gone from the graph.
+  void on_erase(EdgeId e);
+  /// Flushes the over-cap fix-up queue; call once per batch after the
+  /// updates. Returns the number of edge flips performed.
+  std::uint64_t flush();
+
+  NodeId out_degree(NodeId v) const {
+    return static_cast<NodeId>(out_[static_cast<std::size_t>(v)].size());
+  }
+  /// The live arboricity witness A (maximum out-degree). O(n) scan.
+  NodeId max_out_degree() const;
+  /// Current out-degree cap; `max_out_degree() <= cap()` holds whenever
+  /// the fix-up queue is flushed.
+  NodeId cap() const { return cap_; }
+
+  NodeId tail(EdgeId e) const {
+    const Edge& ed = g_->edge(e);
+    return away_.test(e) ? ed.u : ed.v;
+  }
+  NodeId head(EdgeId e) const {
+    const Edge& ed = g_->edge(e);
+    return away_.test(e) ? ed.v : ed.u;
+  }
+  bool away_from_lower(EdgeId e) const { return away_.test(e); }
+
+  /// Out-edge ids of v (unordered; the order is deterministic for a fixed
+  /// update sequence but carries no meaning).
+  std::span<const EdgeId> out_edges(NodeId v) const {
+    return out_[static_cast<std::size_t>(v)];
+  }
+
+  /// Recomputes the orientation from a static degeneracy peel of the
+  /// current live graph and resets the cap to max(kMinCap, 2·degeneracy).
+  /// The resulting directions are bit-identical to
+  /// `degeneracy_orientation(g.snapshot())` (regression-tested).
+  void rebuild();
+
+  std::uint64_t total_flips() const { return total_flips_; }
+  std::uint64_t cap_doublings() const { return cap_doublings_; }
+
+  static constexpr NodeId kMinCap = 4;
+
+ private:
+  void remove_from_out(NodeId v, EdgeId e);
+  void push_out(NodeId v, EdgeId e);
+
+  const DynamicGraph* g_ = nullptr;
+  EdgeMask away_;                          ///< direction bit per edge id
+  std::vector<std::vector<EdgeId>> out_;   ///< out-edge ids per node
+  std::vector<std::int32_t> pos_in_out_;   ///< index of e in out_[tail(e)]
+  std::vector<NodeId> over_cap_;           ///< fix-up queue (FIFO)
+  EdgeMask queued_;                        ///< node already in over_cap_
+  NodeId cap_ = kMinCap;
+  std::uint64_t total_flips_ = 0;
+  std::uint64_t cap_doublings_ = 0;
+};
+
+}  // namespace dcl

@@ -51,7 +51,7 @@ bool CliqueSet::insert_packed(const PackedKey& key) {
   if (slots_.empty()) {
     PackedKey empty;
     empty.fill(kUnused);
-    slots_.assign(16, empty);
+    slots_.assign(32, empty);
   } else if ((packed_count_ + 1) * 10 > slots_.size() * 7) {
     grow();
   }
@@ -63,6 +63,37 @@ bool CliqueSet::insert_packed(const PackedKey& key) {
   }
   slots_[i] = key;
   ++packed_count_;
+  fingerprint_ += hash_key(key);
+  return true;
+}
+
+bool CliqueSet::erase_packed(const PackedKey& key) {
+  if (slots_.empty()) return false;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(hash_key(key)) & mask;
+  while (slots_[i] != key) {
+    if (slots_[i][0] == kUnused) return false;
+    i = (i + 1) & mask;
+  }
+  --packed_count_;
+  fingerprint_ -= hash_key(key);
+  // Backward-shift deletion: close the probe chain by pulling every
+  // displaced follower into the vacated slot; no tombstones, so probe
+  // lengths stay a function of load alone even under heavy churn.
+  std::size_t hole = i;
+  std::size_t j = i;
+  while (true) {
+    j = (j + 1) & mask;
+    if (slots_[j][0] == kUnused) break;
+    const std::size_t ideal = static_cast<std::size_t>(hash_key(slots_[j])) & mask;
+    // slots_[j] may move into the hole iff the hole lies on its probe
+    // path, i.e. the cyclic distance ideal→hole does not exceed ideal→j.
+    if (((j - ideal) & mask) >= ((j - hole) & mask)) {
+      slots_[hole] = slots_[j];
+      hole = j;
+    }
+  }
+  slots_[hole].fill(kUnused);
   return true;
 }
 
@@ -77,11 +108,11 @@ bool CliqueSet::contains_packed(const PackedKey& key) const {
   return false;
 }
 
-void CliqueSet::grow() {
+void CliqueSet::rehash(std::size_t new_slots) {
   std::vector<PackedKey> old = std::move(slots_);
   PackedKey empty;
   empty.fill(kUnused);
-  slots_.assign(old.size() * 2, empty);
+  slots_.assign(new_slots, empty);
   const std::size_t mask = slots_.size() - 1;
   for (const PackedKey& key : old) {
     if (key[0] == kUnused) continue;
@@ -91,17 +122,60 @@ void CliqueSet::grow() {
   }
 }
 
+void CliqueSet::grow() {
+  // Quadruple small tables so the climb to a large set pays half the
+  // rehash passes (each pass rewrites every key — the ~14% grow() churn
+  // of the PR 3 profile); double once a step is big enough that the 4x
+  // memory overshoot would dominate.
+  constexpr std::size_t kQuadrupleBelow = std::size_t{1} << 16;
+  rehash(slots_.size() < kQuadrupleBelow ? slots_.size() * 4
+                                         : slots_.size() * 2);
+}
+
+void CliqueSet::reserve(std::size_t expected) {
+  std::size_t target = 32;
+  // Smallest power of two keeping `expected` keys at or under 0.7 load.
+  while (target * 7 < expected * 10) target *= 2;
+  if (target > slots_.size()) rehash(target);
+}
+
+std::uint64_t CliqueSet::overflow_hash(const Clique& sorted) {
+  std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (const NodeId v : sorted) {
+    h = splitmix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+  }
+  return h;
+}
+
 bool CliqueSet::insert(std::span<const NodeId> clique) {
   if (clique.empty() || clique.size() > kPackedMax) {
     Clique c(clique.begin(), clique.end());
     std::sort(c.begin(), c.end());
-    return overflow_.insert(std::move(c)).second;
+    const std::uint64_t h = overflow_hash(c);
+    const bool fresh = overflow_.insert(std::move(c)).second;
+    if (fresh) fingerprint_ += h;
+    return fresh;
   }
   return insert_packed(pack(clique));
 }
 
 bool CliqueSet::insert(const Clique& clique) {
   return insert(std::span<const NodeId>(clique));
+}
+
+bool CliqueSet::erase(std::span<const NodeId> clique) {
+  if (clique.empty() || clique.size() > kPackedMax) {
+    Clique c(clique.begin(), clique.end());
+    std::sort(c.begin(), c.end());
+    const bool present = overflow_.erase(c) > 0;
+    if (present) fingerprint_ -= overflow_hash(c);
+    return present;
+  }
+  return erase_packed(pack(clique));
+}
+
+bool CliqueSet::erase(const Clique& clique) {
+  return erase(std::span<const NodeId>(clique));
 }
 
 bool CliqueSet::contains(std::span<const NodeId> clique) const {

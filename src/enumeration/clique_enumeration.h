@@ -53,10 +53,29 @@ class CliqueSet {
   /// Allocation-free insert for cliques of ≤ kPackedMax vertices (any
   /// order); falls back to the spill set above that width.
   bool insert(std::span<const NodeId> clique);
+  /// Erases a clique (any vertex order); returns true if it was present.
+  /// Packed erase is backward-shift deletion (no tombstones), so lookup
+  /// probe lengths never degrade under churn — the dynamic engine erases
+  /// and re-inserts continuously.
+  bool erase(const Clique& clique);
+  bool erase(std::span<const NodeId> clique);
   bool contains(const Clique& clique) const;
   bool contains(std::span<const NodeId> clique) const;
   std::size_t size() const { return packed_count_ + overflow_.size(); }
   bool empty() const { return size() == 0; }
+
+  /// Pre-sizes the packed table for `expected` cliques so the insert path
+  /// performs no growth rehashes up to that size. Callers with a clique
+  /// estimate (local enumerations report their count before the report
+  /// loop) use this to kill the grow() churn on the hot path.
+  void reserve(std::size_t expected);
+
+  /// Order-independent content hash: the wrapping sum of one mixed hash
+  /// per member clique, maintained incrementally on insert/erase. Two sets
+  /// with equal contents have equal fingerprints regardless of insertion
+  /// history; the empty set is 0. Used as the ledger-style drift detector
+  /// for the dynamic engine's benches and tests.
+  std::uint64_t fingerprint() const { return fingerprint_; }
 
   /// Cliques present in `this` but not in `other`.
   std::vector<Clique> difference(const CliqueSet& other) const;
@@ -75,7 +94,10 @@ class CliqueSet {
   static std::uint64_t hash_key(const PackedKey& key);
 
   bool insert_packed(const PackedKey& key);
+  bool erase_packed(const PackedKey& key);
   bool contains_packed(const PackedKey& key) const;
+  static std::uint64_t overflow_hash(const Clique& sorted);
+  void rehash(std::size_t new_slots);
   void grow();
   template <typename F>
   void for_each(F&& fn) const;  // fn(const Clique&)
@@ -93,6 +115,7 @@ class CliqueSet {
 
   std::vector<PackedKey> slots_;  ///< open addressing; key[0]==kUnused = free
   std::size_t packed_count_ = 0;
+  std::uint64_t fingerprint_ = 0;
   std::unordered_set<Clique, VectorHash> overflow_;
 };
 

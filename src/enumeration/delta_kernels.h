@@ -1,0 +1,96 @@
+// Delta enumeration kernels: all Kp instances through one fixed edge.
+//
+// The batch-dynamic engine never re-enumerates the graph; per updated edge
+// {u,v} it needs exactly the cliques *containing that edge* — inserted
+// edges contribute the cliques to add, deleted edges (enumerated before
+// removal) the cliques to retract. Every such clique is {u, v} ∪ S where S
+// is a (p-2)-clique inside X = N(u) ∩ N(v), so the kernel is the common-
+// neighborhood intersection followed by an id-ascending clique recursion
+// over X — both running on the sorted-span intersection kernels of
+// common/intersect.h. Deliberately *not* orientation-directed: the
+// incrementally maintained orientation (dynamic/dynamic_orientation.h) may
+// contain cycles, which would make a DAG-path enumeration miss cliques.
+//
+// The kernel is a template over the adjacency accessor so the same code
+// serves the dynamic slack-CSR and the static CSR (the differential tests
+// run it against both).
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/intersect.h"
+#include "graph/graph.h"
+
+namespace dcl {
+
+/// Per-depth scratch for the delta recursion; reused across calls so the
+/// per-edge hot path allocates nothing after warm-up.
+using DeltaScratch = std::vector<std::vector<NodeId>>;
+
+namespace delta_detail {
+
+/// Emits every (remaining)-clique inside `cands` (sorted ascending, all
+/// adjacent to everything already in `clique`), appended to `clique`.
+template <typename NeighborsFn, typename Emit>
+void extend_delta(const NeighborsFn& neighbors, std::vector<NodeId>& clique,
+                  std::span<const NodeId> cands, int remaining,
+                  DeltaScratch& scratch, Emit&& emit) {
+  if (static_cast<int>(cands.size()) < remaining) return;
+  if (remaining == 0) {
+    emit(std::span<const NodeId>(clique));
+    return;
+  }
+  if (remaining == 1) {
+    clique.push_back(-1);
+    for (const NodeId w : cands) {
+      clique.back() = w;
+      emit(std::span<const NodeId>(clique));
+    }
+    clique.pop_back();
+    return;
+  }
+  std::vector<NodeId>& next = scratch[static_cast<std::size_t>(remaining)];
+  for (std::size_t i = 0; i + static_cast<std::size_t>(remaining) <=
+                          cands.size();
+       ++i) {
+    const NodeId w = cands[i];
+    intersect_into(cands.subspan(i + 1), neighbors(w), next);
+    clique.push_back(w);
+    extend_delta(neighbors, clique, next, remaining - 1, scratch, emit);
+    clique.pop_back();
+  }
+}
+
+}  // namespace delta_detail
+
+/// Calls `emit(span)` once for every Kp containing the edge {u,v}, where
+/// `neighbors(x)` returns the sorted adjacency span of x in the current
+/// graph (which must contain the edge). The emitted span holds u, v, then
+/// the remaining p-2 vertices ascending — not globally sorted; consumers
+/// (CliqueSet) canonicalize. `scratch` must have at least p-1 levels.
+template <typename NeighborsFn, typename Emit>
+void for_each_clique_with_edge(const NeighborsFn& neighbors, NodeId u,
+                               NodeId v, int p, DeltaScratch& scratch,
+                               Emit&& emit) {
+  if (p < 2) return;
+  std::vector<NodeId>& clique = scratch[0];
+  clique.assign({u, v});
+  if (p == 2) {
+    emit(std::span<const NodeId>(clique));
+    return;
+  }
+  std::vector<NodeId>& common = scratch[1];
+  intersect_into(neighbors(u), neighbors(v), common);
+  delta_detail::extend_delta(neighbors, clique, common, p - 2, scratch, emit);
+}
+
+/// Scratch sized for `for_each_clique_with_edge` at clique size p: level 0
+/// holds the growing clique, level 1 the common neighborhood, and levels
+/// 2..p-2 the recursion's candidate sets.
+inline DeltaScratch make_delta_scratch(int p) {
+  return DeltaScratch(static_cast<std::size_t>(std::max(2, p)));
+}
+
+}  // namespace dcl

@@ -5,23 +5,34 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/parallel_for.h"
+
 namespace dcl {
 
 namespace {
 
 /// One application of the lazy walk operator P = (I + D^{-1}A)/2.
+/// Rows are independent (out[v] reads only x), so they shard over the
+/// worker pool — each out[v] is computed by exactly one shard with the
+/// same per-row summation order as the sequential loop, so the result is
+/// bit-identical at any DCL_THREADS (ROADMAP lever e; the π-weighted
+/// reductions around this stay sequential, their summation order is part
+/// of the fixed-seed fingerprint).
 void apply_lazy_walk(const Graph& g, const std::vector<double>& x,
                      std::vector<double>& out) {
-  const NodeId n = g.node_count();
-  for (NodeId v = 0; v < n; ++v) {
-    double acc = 0.0;
-    const auto nbrs = g.neighbors(v);
-    for (NodeId w : nbrs) acc += x[static_cast<std::size_t>(w)];
-    const double deg = static_cast<double>(g.degree(v));
-    const double walk = (deg > 0) ? acc / deg : x[static_cast<std::size_t>(v)];
-    out[static_cast<std::size_t>(v)] =
-        0.5 * (x[static_cast<std::size_t>(v)] + walk);
-  }
+  parallel_for_shards(g.node_count(), [&](int, std::int64_t lo,
+                                          std::int64_t hi) {
+    for (auto v = static_cast<NodeId>(lo); v < static_cast<NodeId>(hi); ++v) {
+      double acc = 0.0;
+      const auto nbrs = g.neighbors(v);
+      for (NodeId w : nbrs) acc += x[static_cast<std::size_t>(w)];
+      const double deg = static_cast<double>(g.degree(v));
+      const double walk =
+          (deg > 0) ? acc / deg : x[static_cast<std::size_t>(v)];
+      out[static_cast<std::size_t>(v)] =
+          0.5 * (x[static_cast<std::size_t>(v)] + walk);
+    }
+  });
 }
 
 /// Removes the component along the stationary distribution π(v) ∝ deg(v).

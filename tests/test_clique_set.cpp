@@ -70,6 +70,78 @@ TEST(CliqueSetPacked, GrowthKeepsAllElements) {
   EXPECT_FALSE(set.contains({kCount, kCount + 100000, kCount + 200000}));
 }
 
+TEST(CliqueSetPacked, EraseRandomizedAgainstSetOracle) {
+  // Mixed insert/erase workload (permuted vertex orders, widths crossing
+  // the packed/overflow boundary): size, membership, and fingerprint must
+  // track the oracle through arbitrary churn — the backward-shift erase
+  // must never strand or lose a key.
+  Rng rng(3);
+  CliqueSet set;
+  std::set<Clique> oracle;
+  for (int op = 0; op < 8000; ++op) {
+    const std::size_t size = 1 + rng.next_below(10);
+    Clique c = random_clique(rng, size, 20);
+    const Clique permuted = shuffled(c, rng);
+    if (rng.next_bool(0.45)) {
+      EXPECT_EQ(set.erase(permuted), oracle.erase(c) > 0) << "op " << op;
+    } else {
+      EXPECT_EQ(set.insert(permuted), oracle.insert(c).second) << "op " << op;
+    }
+    ASSERT_EQ(set.size(), oracle.size());
+    if (op % 500 == 499) {
+      // Full membership audit plus fingerprint equality with a rebuilt
+      // set: the incremental fingerprint is order-independent and must
+      // land exactly where a fresh build lands.
+      CliqueSet rebuilt;
+      for (const Clique& x : oracle) rebuilt.insert(x);
+      EXPECT_EQ(set.fingerprint(), rebuilt.fingerprint());
+      for (const Clique& x : oracle) {
+        EXPECT_TRUE(set.contains(x));
+      }
+    }
+  }
+}
+
+TEST(CliqueSetPacked, FingerprintIsOrderIndependentAndCancels) {
+  Rng rng(4);
+  std::vector<Clique> cliques;
+  for (int i = 0; i < 300; ++i) {
+    cliques.push_back(random_clique(rng, 1 + rng.next_below(9), 64));
+  }
+  CliqueSet forward, backward;
+  for (const auto& c : cliques) forward.insert(c);
+  for (auto it = cliques.rbegin(); it != cliques.rend(); ++it) {
+    backward.insert(shuffled(*it, rng));
+  }
+  EXPECT_EQ(forward.fingerprint(), backward.fingerprint());
+
+  // Inserting then erasing extra cliques returns to the exact value;
+  // erasing everything returns to zero (the empty-set fingerprint).
+  const std::uint64_t fp = forward.fingerprint();
+  forward.insert({901, 902, 903});
+  EXPECT_NE(forward.fingerprint(), fp);
+  forward.erase({903, 901, 902});
+  EXPECT_EQ(forward.fingerprint(), fp);
+  for (const auto& c : cliques) forward.erase(c);
+  EXPECT_EQ(forward.fingerprint(), 0u);
+  EXPECT_TRUE(forward.empty());
+}
+
+TEST(CliqueSetPacked, ReservePreservesContentsAndAbsorbsInserts) {
+  CliqueSet set;
+  for (NodeId i = 0; i < 100; ++i) set.insert({i, i + 1000});
+  const std::uint64_t fp = set.fingerprint();
+  set.reserve(50000);
+  EXPECT_EQ(set.size(), 100u);
+  EXPECT_EQ(set.fingerprint(), fp);
+  for (NodeId i = 0; i < 100; ++i) {
+    EXPECT_TRUE(set.contains({i, i + 1000}));
+  }
+  for (NodeId i = 100; i < 40000; ++i) set.insert({i, i + 1000});
+  EXPECT_EQ(set.size(), 40000u);
+  EXPECT_TRUE(set.contains({39999, 40999}));
+}
+
 TEST(CliqueSetPacked, DifferenceAndEqualityAcrossRepresentations) {
   // Same logical set built in different insert orders (and with
   // duplicates) must compare equal; difference must be exact.

@@ -1,0 +1,142 @@
+// DynamicGraph: slack-CSR adjacency under batched insert/erase, stable
+// edge ids, and snapshot equivalence against a std::set<Edge> model.
+#include "dynamic/dynamic_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace dcl {
+namespace {
+
+void expect_matches_model(const DynamicGraph& d, const std::set<Edge>& model,
+                          NodeId n) {
+  ASSERT_EQ(d.node_count(), n);
+  ASSERT_EQ(d.edge_count(), static_cast<EdgeId>(model.size()));
+  // Snapshot is exactly the model's edge set.
+  const Graph snap = d.snapshot();
+  ASSERT_EQ(snap.edge_count(), static_cast<EdgeId>(model.size()));
+  EXPECT_TRUE(std::equal(snap.edges().begin(), snap.edges().end(),
+                         model.begin(), model.end()));
+  // Adjacency is sorted, edge-id-aligned, and consistent with edge().
+  for (NodeId v = 0; v < n; ++v) {
+    const auto nbrs = d.neighbors(v);
+    const auto eids = d.incident_edges(v);
+    ASSERT_EQ(nbrs.size(), eids.size());
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_TRUE(model.count(make_edge(v, nbrs[i])));
+      EXPECT_TRUE(d.is_live(eids[i]));
+      EXPECT_EQ(d.edge(eids[i]), make_edge(v, nbrs[i]));
+    }
+  }
+}
+
+TEST(DynamicGraph, InsertEraseBasics) {
+  DynamicGraph d(5);
+  EXPECT_EQ(d.edge_count(), 0);
+  const auto [e01, fresh01] = d.insert_edge(0, 1);
+  EXPECT_TRUE(fresh01);
+  EXPECT_EQ(e01, 0);
+  // Reversed endpoint order resolves to the same edge.
+  const auto [again, fresh_again] = d.insert_edge(1, 0);
+  EXPECT_FALSE(fresh_again);
+  EXPECT_EQ(again, e01);
+  const auto [e12, fresh12] = d.insert_edge(1, 2);
+  EXPECT_TRUE(fresh12);
+  EXPECT_EQ(e12, 1);
+  EXPECT_TRUE(d.has_edge(0, 1));
+  EXPECT_TRUE(d.has_edge(2, 1));
+  EXPECT_FALSE(d.has_edge(0, 2));
+  EXPECT_EQ(d.degree(1), 2);
+
+  // Erase recycles the id for the next insert (LIFO).
+  EXPECT_EQ(d.erase_edge(0, 1), std::optional<EdgeId>(e01));
+  EXPECT_FALSE(d.is_live(e01));
+  EXPECT_EQ(d.erase_edge(0, 1), std::nullopt);
+  const auto [e23, fresh23] = d.insert_edge(2, 3);
+  EXPECT_TRUE(fresh23);
+  EXPECT_EQ(e23, e01);
+  EXPECT_EQ(d.edge(e23), make_edge(2, 3));
+  EXPECT_EQ(d.edge_id_bound(), 2);
+}
+
+TEST(DynamicGraph, RejectsBadEndpoints) {
+  DynamicGraph d(4);
+  EXPECT_THROW(d.insert_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(d.insert_edge(0, 4), std::invalid_argument);
+  EXPECT_THROW(d.erase_edge(-1, 2), std::invalid_argument);
+  EXPECT_FALSE(d.has_edge(0, 17));  // queries are total, not throwing
+}
+
+TEST(DynamicGraph, FromGraphPreservesStaticIds) {
+  Rng rng(7);
+  const Graph g = erdos_renyi_gnm(40, 160, rng);
+  const DynamicGraph d = DynamicGraph::from_graph(g);
+  ASSERT_EQ(d.edge_count(), g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_TRUE(d.is_live(e));
+    EXPECT_EQ(d.edge(e), g.edge(e));
+    EXPECT_EQ(d.edge_id(g.edge(e).u, g.edge(e).v), std::optional<EdgeId>(e));
+  }
+}
+
+TEST(DynamicGraph, RandomizedDifferentialAgainstSetModel) {
+  Rng rng(1);
+  const NodeId n = 30;
+  DynamicGraph d(n);
+  std::set<Edge> model;
+  for (int op = 0; op < 4000; ++op) {
+    const auto u = static_cast<NodeId>(rng.next_below(n));
+    auto v = static_cast<NodeId>(rng.next_below(n - 1));
+    if (v >= u) ++v;
+    const Edge e = make_edge(u, v);
+    // Biased toward inserts early, erases late, so both live-set growth
+    // and shrinkage (with id recycling) are exercised.
+    const bool do_insert = rng.next_bool(op < 2000 ? 0.7 : 0.3);
+    if (do_insert) {
+      const auto [id, fresh] = d.insert_edge(u, v);
+      EXPECT_EQ(fresh, model.insert(e).second);
+      EXPECT_EQ(d.edge(id), e);
+    } else {
+      const auto id = d.erase_edge(u, v);
+      EXPECT_EQ(id.has_value(), model.erase(e) > 0);
+    }
+    if (op % 200 == 199) expect_matches_model(d, model, n);
+  }
+  expect_matches_model(d, model, n);
+}
+
+TEST(DynamicGraph, SlackRelocationAndCompaction) {
+  // A hub node forces repeated segment growth; mass deletion then forces
+  // a compaction. Adjacency must stay exact throughout.
+  const NodeId n = 400;
+  DynamicGraph d(n);
+  for (NodeId v = 1; v < n; ++v) {
+    d.insert_edge(0, v);
+  }
+  EXPECT_EQ(d.degree(0), n - 1);
+  EXPECT_GT(d.relocations(), 0u);
+  const auto nbrs = d.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  // Tear the hub down (the arena is now mostly dead slack), then grow a
+  // different segment: the next relocation must compact.
+  for (NodeId v = 1; v < n; ++v) {
+    d.erase_edge(0, v);
+  }
+  for (NodeId v = 2; v < n; ++v) {
+    d.insert_edge(1, v);
+  }
+  EXPECT_GT(d.compactions(), 0u);
+  std::set<Edge> model;
+  for (NodeId v = 2; v < n; ++v) model.insert(make_edge(1, v));
+  expect_matches_model(d, model, n);
+}
+
+}  // namespace
+}  // namespace dcl

@@ -1,0 +1,145 @@
+// DynamicOrientation: the incrementally maintained arboricity witness.
+// Bounded out-degree under updates, deterministic flips, and the rebuild
+// regression against the static degeneracy peel.
+#include "dynamic/dynamic_orientation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/orientation.h"
+#include "graph/workloads.h"
+
+namespace dcl {
+namespace {
+
+/// Sum of out-degrees must equal the live edge count, and every out-edge
+/// list must agree with tail().
+void expect_consistent(const DynamicGraph& g, const DynamicOrientation& o) {
+  EdgeId total = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    total += o.out_degree(v);
+    for (const EdgeId e : o.out_edges(v)) {
+      EXPECT_TRUE(g.is_live(e));
+      EXPECT_EQ(o.tail(e), v);
+      const Edge& ed = g.edge(e);
+      EXPECT_TRUE(o.head(e) == ed.u || o.head(e) == ed.v);
+      EXPECT_NE(o.head(e), v);
+    }
+  }
+  EXPECT_EQ(total, g.edge_count());
+}
+
+TEST(DynamicOrientation, RebuildMatchesStaticPeel) {
+  Rng rng(3);
+  for (const NodeId n : {10, 40, 80}) {
+    const Graph g = erdos_renyi_gnm(n, static_cast<EdgeId>(3 * n), rng);
+    DynamicGraph d = DynamicGraph::from_graph(g);
+    DynamicOrientation o(d);  // constructor rebuilds
+    const Orientation statico = degeneracy_orientation(g);
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      // from_graph keeps static ids, so directions align index by index.
+      EXPECT_EQ(o.away_from_lower(e), statico.away_from_lower(e));
+    }
+    EXPECT_EQ(o.max_out_degree(), statico.max_out_degree());
+    expect_consistent(d, o);
+  }
+}
+
+TEST(DynamicOrientation, BoundedOutDegreeUnderUpdates) {
+  Rng rng(5);
+  UpdateStream stream = churn_stream(60, 360, 30, 20, rng);
+  DynamicGraph d(stream.n);
+  for (const Edge& e : stream.initial) d.insert_edge(e.u, e.v);
+  DynamicOrientation o(d);
+  NodeId max_degeneracy_seen = degeneracy_order(d.snapshot()).degeneracy;
+  for (const UpdateBatch& batch : stream.batches) {
+    for (const Edge& e : batch.erase) {
+      const auto id = d.erase_edge(e.u, e.v);
+      if (id) o.on_erase(*id);
+    }
+    for (const Edge& e : batch.insert) {
+      const auto [id, fresh] = d.insert_edge(e.u, e.v);
+      if (fresh) o.on_insert(id);
+    }
+    o.flush();
+    expect_consistent(d, o);
+    const NodeId degeneracy = degeneracy_order(d.snapshot()).degeneracy;
+    max_degeneracy_seen = std::max(max_degeneracy_seen, degeneracy);
+    // The flushed invariant, and the cap staying within a constant factor
+    // of the best possible witness (degeneracy) seen so far.
+    EXPECT_LE(o.max_out_degree(), o.cap());
+    EXPECT_LE(o.cap(),
+              std::max<NodeId>(DynamicOrientation::kMinCap,
+                               static_cast<NodeId>(4 * max_degeneracy_seen + 4)));
+  }
+}
+
+TEST(DynamicOrientation, DeterministicAcrossReplays) {
+  Rng stream_rng(9);
+  UpdateStream stream = sliding_window_stream(40, 20, 15, 4, stream_rng);
+  std::vector<bool> first_run;
+  for (int run = 0; run < 2; ++run) {
+    DynamicGraph d(stream.n);
+    DynamicOrientation o(d);
+    for (const UpdateBatch& batch : stream.batches) {
+      for (const Edge& e : batch.erase) {
+        const auto id = d.erase_edge(e.u, e.v);
+        if (id) o.on_erase(*id);
+      }
+      for (const Edge& e : batch.insert) {
+        const auto [id, fresh] = d.insert_edge(e.u, e.v);
+        if (fresh) o.on_insert(id);
+      }
+      o.flush();
+    }
+    std::vector<bool> dirs;
+    for (EdgeId e = 0; e < d.edge_id_bound(); ++e) {
+      dirs.push_back(d.is_live(e) && o.away_from_lower(e));
+    }
+    if (run == 0) {
+      first_run = dirs;
+    } else {
+      EXPECT_EQ(dirs, first_run);
+    }
+  }
+}
+
+TEST(DynamicOrientation, RebuildAfterChurnMatchesStaticPeel) {
+  // After arbitrary churn, rebuild() must land exactly on the static
+  // orientation of the surviving graph (modulo the id mapping).
+  Rng rng(11);
+  UpdateStream stream = build_teardown_stream(50, 300, 6, rng);
+  DynamicGraph d(stream.n);
+  DynamicOrientation o(d);
+  for (std::size_t b = 0; b + 1 < stream.batches.size(); ++b) {
+    for (const Edge& e : stream.batches[b].erase) {
+      const auto id = d.erase_edge(e.u, e.v);
+      if (id) o.on_erase(*id);
+    }
+    for (const Edge& e : stream.batches[b].insert) {
+      const auto [id, fresh] = d.insert_edge(e.u, e.v);
+      if (fresh) o.on_insert(id);
+    }
+    o.flush();
+  }
+  o.rebuild();
+  const Graph snap = d.snapshot();
+  const Orientation statico = degeneracy_orientation(snap);
+  // Compare direction per undirected edge via endpoints.
+  d.live_edges().for_each_set([&](std::int64_t e) {
+    const Edge& ed = d.edge(static_cast<EdgeId>(e));
+    const auto se = snap.edge_id(ed.u, ed.v);
+    ASSERT_TRUE(se.has_value());
+    EXPECT_EQ(o.away_from_lower(static_cast<EdgeId>(e)),
+              statico.away_from_lower(*se));
+  });
+  EXPECT_EQ(o.max_out_degree(), statico.max_out_degree());
+  expect_consistent(d, o);
+}
+
+}  // namespace
+}  // namespace dcl

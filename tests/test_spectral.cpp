@@ -2,10 +2,35 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parallel_for.h"
 #include "graph/generators.h"
 
 namespace dcl {
 namespace {
+
+/// Restores the shard count on scope exit (mirrors test_parallel_for.cpp).
+class ScopedShardThreads {
+ public:
+  explicit ScopedShardThreads(int threads) { set_shard_threads(threads); }
+  ~ScopedShardThreads() { set_shard_threads(1); }
+};
+
+TEST(Lambda2, ShardedRowsAreBitIdentical) {
+  // apply_lazy_walk shards rows over the worker pool; every double the
+  // power iteration produces must be exactly the sequential value at any
+  // shard count — same per-row summation order, disjoint row writes.
+  Rng build_rng(42);
+  const Graph g = random_regular(150, 6, build_rng);
+  Rng vec_a(5), vec_b(5), l2_a(7), l2_b(7);
+  const auto sequential = second_eigenvector(g, vec_a, 60);
+  const double l2_seq = lazy_walk_lambda2(g, l2_a, 80);
+  {
+    ScopedShardThreads threads(4);
+    const auto sharded = second_eigenvector(g, vec_b, 60);
+    EXPECT_EQ(sequential, sharded);
+    EXPECT_EQ(l2_seq, lazy_walk_lambda2(g, l2_b, 80));
+  }
+}
 
 TEST(Lambda2, CompleteGraphHasLargeGap) {
   Rng rng(1);
