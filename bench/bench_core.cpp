@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "bench_util.h"
+#include "common/parallel_for.h"
 #include "congest/clique_network.h"
 #include "congest/congest_network.h"
 #include "congest/engine.h"
@@ -152,15 +153,37 @@ void list_kp_benchmark(BenchReport& report, const char* input_name,
   // One fixed-seed reference run: the ledger totals are the cost-model
   // fingerprint that perf refactors must keep bit-identical.
   const KpListResult ref = list_kp(g, cfg);
-  auto& t = report.add(time_kernel(
-      std::string("list_kp/p=") + std::to_string(p) + "/" + input_name,
-      [&] { return list_kp(g, cfg).total_reports; },
-      static_cast<double>(ref.unique_cliques)));
-  t.counters.emplace_back("ledger_total_rounds", ref.total_rounds());
-  t.counters.emplace_back("unique_cliques",
-                          static_cast<double>(ref.unique_cliques));
-  t.counters.emplace_back("total_reports",
-                          static_cast<double>(ref.total_reports));
+  {
+    auto& t = report.add(time_kernel(
+        std::string("list_kp/p=") + std::to_string(p) + "/" + input_name,
+        [&] { return list_kp(g, cfg).total_reports; },
+        static_cast<double>(ref.unique_cliques)));
+    t.counters.emplace_back("ledger_total_rounds", ref.total_rounds());
+    t.counters.emplace_back("unique_cliques",
+                            static_cast<double>(ref.unique_cliques));
+    t.counters.emplace_back("total_reports",
+                            static_cast<double>(ref.total_reports));
+  }
+  {
+    // The same end-to-end run at 4 shards. DCL_THREADS is a pure speed
+    // knob, so this entry's counters must be bit-identical to the
+    // single-thread entry above — committing both makes the thread
+    // invariance part of the CI-enforced fingerprint surface, and the
+    // ns_per_op gap is the measured cluster-parallel speedup.
+    const int previous = shard_threads();
+    set_shard_threads(4);
+    const KpListResult ref4 = list_kp(g, cfg);  // counters from a 4-shard run
+    auto& t = report.add(time_kernel(
+        std::string("list_kp_t4/p=") + std::to_string(p) + "/" + input_name,
+        [&] { return list_kp(g, cfg).total_reports; },
+        static_cast<double>(ref4.unique_cliques)));
+    set_shard_threads(previous);
+    t.counters.emplace_back("ledger_total_rounds", ref4.total_rounds());
+    t.counters.emplace_back("unique_cliques",
+                            static_cast<double>(ref4.unique_cliques));
+    t.counters.emplace_back("total_reports",
+                            static_cast<double>(ref4.total_reports));
+  }
 }
 
 /// Folds a 64-bit fingerprint into 32 bits so the JSON double (%.17g)
@@ -293,6 +316,14 @@ int run(const char* out_path) {
   Rng kp5_rng(4);
   const Graph kp5_input = erdos_renyi_gnm(120, 2200, kp5_rng);
   list_kp_benchmark(report, "er_n120_m2200", kp5_input, 5);
+  // Multi-cluster instance: the ER inputs above decompose into ONE
+  // cluster, so they cannot exercise the cluster-parallel ARB-LIST tail.
+  // The ring-of-cliques workload splits into 8 clusters in the first
+  // iteration — the shape the per-cluster sharding (and its fingerprint
+  // surface) actually covers.
+  Rng ring_rng(13);
+  const Graph ring_input = ring_of_cliques_workload(480, ring_rng, 8);
+  list_kp_benchmark(report, "ring8_n480", ring_input, 4);
 
   simulator_benchmarks(report);
   dynamic_benchmarks(report);

@@ -40,12 +40,27 @@ void run_sharded(int shards, const std::function<void(int)>& body);
 
 /// Splits [0, n) into min(shard_threads(), n) contiguous shards and runs
 /// `body(shard, begin, end)` for each. Shard boundaries are a pure
-/// function of (n, shard count); with one shard the body runs inline.
+/// function of (n, shard count, min_grain); with one shard the body runs
+/// inline.
+///
+/// `min_grain` is the smallest index range worth a worker wakeup for this
+/// loop: the shard count is capped at n / min_grain, so a loop whose total
+/// work cannot amortize the pool's dispatch latency runs inline instead of
+/// paying it (measured: DCL_THREADS=4 was a net *loss* on laptop-sized
+/// instances before the hot loops set grains). Callers pick the grain by
+/// per-index cost; correctness never depends on it — shard merges are
+/// order-independent by contract, so any effective shard count produces
+/// bit-identical results (tests/test_parallel_for.cpp).
 template <typename Body>
-void parallel_for_shards(std::int64_t n, Body&& body) {
+void parallel_for_shards(std::int64_t n, Body&& body,
+                         std::int64_t min_grain = 1) {
   if (n <= 0) return;
+  std::int64_t cap = shard_threads();
+  if (min_grain > 1) {
+    cap = std::min<std::int64_t>(cap, n / min_grain);
+  }
   const int shards = static_cast<int>(
-      std::min<std::int64_t>(shard_threads(), n));
+      std::max<std::int64_t>(1, std::min<std::int64_t>(cap, n)));
   if (shards <= 1) {
     body(0, std::int64_t{0}, n);
     return;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <limits>
 #include <random>
+#include <vector>
 
 namespace dcl {
 
@@ -75,6 +76,18 @@ class Rng {
 
   /// Derives an independent child generator; the parent stream advances.
   Rng split() { return Rng(next_u64() ^ 0x9e3779b97f4a7c15ULL); }
+
+  /// Derives `count` independent children with exactly `count` sequential
+  /// split() calls — the pre-split idiom for deterministic parallel
+  /// regions: children are drawn in loop order *before* the region starts,
+  /// so worker interleaving can never touch the parent stream and child i
+  /// is bit-identical to what a sequential loop's i-th split() would get.
+  std::vector<Rng> split_n(std::size_t count) {
+    std::vector<Rng> children;
+    children.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) children.push_back(split());
+    return children;
+  }
 
   /// Fisher-Yates shuffle of a random-access container.
   template <typename Container>

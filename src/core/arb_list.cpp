@@ -66,6 +66,13 @@ struct ClusterNeighborTable {
 /// encodes the sorted cluster ids of its nodes into a shard-local buffer;
 /// shards cover contiguous ascending node ranges, so concatenating the
 /// buffers in shard order IS the node-ordered CSR payload.
+/// Per-node work in the sharded step 2a/3 scans is one adjacency walk;
+/// below this many nodes per shard the pool dispatch costs more than the
+/// loop (grain rule of parallel_for_shards).
+constexpr std::int64_t kNodeScanGrain = 256;
+/// Step 4 does nested adjacency×adjacency work per node — a coarser unit.
+constexpr std::int64_t kLightListGrain = 64;
+
 ClusterNeighborTable build_cluster_neighbors(NodeId n, const CurrentView& view,
                                              const std::vector<int>& cluster_of) {
   ClusterNeighborTable table;
@@ -97,7 +104,7 @@ ClusterNeighborTable build_cluster_neighbors(NodeId n, const CurrentView& view,
       table.off[static_cast<std::size_t>(v) + 1] =
           static_cast<std::uint32_t>(buf.size() - row_start);
     }
-  });
+  }, kNodeScanGrain);
   for (std::size_t v = 1; v <= static_cast<std::size_t>(n); ++v) {
     table.off[v] += table.off[v - 1];
   }
@@ -265,7 +272,7 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
       }
     }
     shard_status_msgs[static_cast<std::size_t>(shard)] = msgs;
-  });
+  }, kNodeScanGrain);
   std::uint64_t status_msgs = 0;
   for (const std::uint64_t msgs : shard_status_msgs) status_msgs += msgs;
   ctx.ledger->charge_exchange("light-status", 1.0, status_msgs);
@@ -362,7 +369,7 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
         }
       }
       shard_stats[static_cast<std::size_t>(shard)] = stats;
-    });
+    }, kLightListGrain);
     LightListStats total;
     for (const LightListStats& stats : shard_stats) {
       total.broadcast_load = std::max(total.broadcast_load,
@@ -380,13 +387,30 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   }
 
   // ---- Step 5: reshuffle to responsibility holders (Theorem 2.4). --------
+  // The paper runs every cluster's reshuffle + in-cluster listing
+  // independently (§2.4: clusters route and list in parallel on disjoint
+  // edge sets), so the serial per-cluster loop here was pure simulation
+  // overhead — the tail now shards over *clusters* (ROADMAP lever d).
+  // Determinism contract: per-cluster RNGs are pre-split in cluster order
+  // before the region (the parent stream advances exactly as the
+  // sequential loop's split() calls did), clusters touch only disjoint
+  // node slots of the read-only step 2b/4 state, and the per-shard
+  // listing buffers / charge accumulators merge in shard (= ascending
+  // cluster) order — every fingerprint is bit-identical at any
+  // DCL_THREADS (tests/test_parallel_for.cpp).
   const auto new_id = assign_cluster_ids(deco.clusters, n, *ctx.ledger);
+  std::vector<Rng> cluster_rngs = ctx.rng->split_n(deco.clusters.size());
 
-  ParallelRoutingCharge reshuffle_charge;
-  ParallelRoutingCharge partition_charge;
-  ParallelRoutingCharge distribution_charge;
+  struct ClusterTailState {
+    ParallelRoutingCharge reshuffle;
+    ParallelRoutingCharge partition;
+    ParallelRoutingCharge distribution;
+    std::int64_t max_learned_edges = 0;
+  };
 
-  for (const Cluster& cluster : deco.clusters) {
+  auto process_cluster = [&](std::size_t ci, ListingOutput& sink,
+                             ClusterTailState& st) {
+    const Cluster& cluster = deco.clusters[ci];
     const auto k = static_cast<NodeId>(cluster.nodes.size());
     const std::int64_t bandwidth =
         std::max<std::int64_t>(1, cluster.min_internal_degree);
@@ -417,8 +441,8 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
       }
       // Everything learned from outside during steps 2b and 4.
       auto& learned_u = learned[static_cast<std::size_t>(u)];
-      trace.max_learned_edges =
-          std::max(trace.max_learned_edges,
+      st.max_learned_edges =
+          std::max(st.max_learned_edges,
                    static_cast<std::int64_t>(learned_u.size()));
       for (const KnownEdge& edge : learned_u) route(u, edge);
     }
@@ -434,13 +458,13 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
       std::sort(h.begin(), h.end());
       h.erase(std::unique(h.begin(), h.end()), h.end());
     }
-    reshuffle_charge.add_cluster(max_load, bandwidth, routed);
+    st.reshuffle.add_cluster(max_load, bandwidth, routed);
 
     // Partition broadcast: every cluster node announces the part choices of
     // its ≤ ceil(n/k) responsibility nodes to all k-1 peers.
     const std::int64_t range = ceil_div(static_cast<std::int64_t>(n),
                                         static_cast<std::int64_t>(k));
-    partition_charge.add_cluster(
+    st.partition.add_cluster(
         range * (k - 1), bandwidth,
         static_cast<std::uint64_t>(range) * static_cast<std::uint64_t>(k) *
             static_cast<std::uint64_t>(k - 1));
@@ -453,14 +477,58 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
     problem.goal_edge = &goal;
     problem.p = cfg.p;
     problem.charge_mode = cfg.in_cluster_charge;
-    Rng cluster_rng = ctx.rng->split();
-    const InClusterCost cost = in_cluster_list(problem, cluster_rng, *ctx.out);
-    distribution_charge.add_cluster(std::max(cost.max_send, cost.max_recv),
-                                    bandwidth, cost.messages);
+    const InClusterCost cost = in_cluster_list(problem, cluster_rngs[ci], sink);
+    st.distribution.add_cluster(std::max(cost.max_send, cost.max_recv),
+                                bandwidth, cost.messages);
+  };
+
+  const auto cluster_count =
+      static_cast<std::int64_t>(deco.clusters.size());
+  ClusterTailState tail;
+  if (std::min<std::int64_t>(shard_threads(), cluster_count) <= 1) {
+    // Sequential fast path: report straight into the global collector, no
+    // buffer merge.
+    for (std::size_t ci = 0; ci < deco.clusters.size(); ++ci) {
+      process_cluster(ci, *ctx.out, tail);
+    }
+  } else {
+    // Effective shard count (the same formula parallel_for_shards derives,
+    // grain 1): buffers beyond it would be allocated and merge-walked
+    // without ever receiving a cluster.
+    const auto buffers = static_cast<std::size_t>(
+        std::min<std::int64_t>(shard_threads(), cluster_count));
+    std::vector<ClusterTailState> shard_tail(buffers);
+    std::vector<ListingOutput> shard_out;
+    shard_out.reserve(buffers);
+    const double dup_hint = ctx.out->duplication_factor();
+    for (std::size_t s = 0; s < buffers; ++s) {
+      shard_out.emplace_back(n);
+      // Shard buffers start cold; seed their reserve discount with the
+      // duplication factor the global collector has already observed.
+      shard_out.back().set_duplication_hint(dup_hint);
+    }
+    parallel_for_shards(
+        cluster_count, [&](int shard, std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t ci = lo; ci < hi; ++ci) {
+            process_cluster(static_cast<std::size_t>(ci),
+                            shard_out[static_cast<std::size_t>(shard)],
+                            shard_tail[static_cast<std::size_t>(shard)]);
+          }
+        });
+    for (std::size_t s = 0; s < buffers; ++s) {
+      tail.reshuffle.merge_from(shard_tail[s].reshuffle);
+      tail.partition.merge_from(shard_tail[s].partition);
+      tail.distribution.merge_from(shard_tail[s].distribution);
+      tail.max_learned_edges =
+          std::max(tail.max_learned_edges, shard_tail[s].max_learned_edges);
+      ctx.out->merge_from(shard_out[s]);
+    }
   }
-  reshuffle_charge.commit(*ctx.ledger, "reshuffle (T2.4)", n);
-  partition_charge.commit(*ctx.ledger, "partition-broadcast (T2.4)", n);
-  distribution_charge.commit(*ctx.ledger, "edge-distribution (T2.4)", n);
+  trace.max_learned_edges =
+      std::max(trace.max_learned_edges, tail.max_learned_edges);
+  tail.reshuffle.commit(*ctx.ledger, "reshuffle (T2.4)", n);
+  tail.partition.commit(*ctx.ledger, "partition-broadcast (T2.4)", n);
+  tail.distribution.commit(*ctx.ledger, "edge-distribution (T2.4)", n);
 
   // ---- Step 6 (k4_fast): sequential per-cluster C-light probing. ---------
   if (cfg.k4_fast) {

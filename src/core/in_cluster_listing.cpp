@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "common/intersect.h"
 #include "common/math_util.h"
@@ -9,6 +10,30 @@
 #include "enumeration/clique_enumeration.h"
 
 namespace dcl {
+
+namespace {
+
+/// One compiled part-pair bucket: the deduplicated edges whose endpoint
+/// parts are {a, b}, in *compact* node ids, stored as a CSR grouped by the
+/// lower endpoint (offsets are dense over part a's compact range — compact
+/// ids are assigned grouped by part, so for a ≤ b the lower endpoint of
+/// every bucket edge lies in part a's range). Compiled once per cluster
+/// call; every representative covering {a, b} assembles its local graph by
+/// walking these rows — the per-representative O(m log m)
+/// `Graph::from_edges` sort/rebuild of the old scheme becomes a linear
+/// fragment merge (ROADMAP lever c).
+struct Fragment {
+  std::vector<std::uint32_t> off;  ///< lower-part range offsets (+1), or empty
+  std::vector<NodeId> nbr;         ///< higher endpoints, ascending per row
+  std::vector<std::uint8_t> goal;  ///< goal flag, aligned with `nbr`
+  std::int64_t goal_count = 0;
+
+  std::int64_t edge_count() const {
+    return static_cast<std::int64_t>(nbr.size());
+  }
+};
+
+}  // namespace
 
 InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
                               ListingOutput& out) {
@@ -68,6 +93,130 @@ InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
     }
   }
 
+  // ---- Step 3.5: compile the buckets into interned fragments. ------------
+  //
+  // Compact interning over base ids. thread_local so the O(n) dense map is
+  // NOT re-allocated per cluster call, and safe under the cluster-parallel
+  // caller: each worker thread owns its own buffers. The invariant is
+  // "all `global_to_compact` slots are -1 between uses"; the scope guard
+  // below restores it on every exit path (including exceptions) instead of
+  // relying on the next caller's lazy reset, and shrinks buffers left over
+  // from a much larger earlier base graph so they cannot pin that memory
+  // across differently-sized graphs forever.
+  static thread_local std::vector<NodeId> global_to_compact;
+  static thread_local std::vector<NodeId> compact_to_global;
+  const auto needed = static_cast<std::size_t>(base.node_count());
+  if (global_to_compact.size() < needed) {
+    global_to_compact.resize(needed, -1);
+  } else if (global_to_compact.size() > std::max<std::size_t>(4 * needed,
+                                                              4096)) {
+    // All slots are -1 between uses, so a fresh buffer is equivalent.
+    std::vector<NodeId>(needed, -1).swap(global_to_compact);
+    compact_to_global.shrink_to_fit();
+  }
+  struct InternReset {
+    std::vector<NodeId>& dense;
+    std::vector<NodeId>& ids;
+    ~InternReset() {
+      for (const NodeId g : ids) dense[static_cast<std::size_t>(g)] = -1;
+      ids.clear();
+    }
+  } intern_reset{global_to_compact, compact_to_global};
+
+  // Collect the distinct endpoints of every bucket and order them by
+  // (part, global id): each part's nodes then occupy one contiguous
+  // compact range, so a node's part-b neighbors form one ascending id
+  // block and a representative's adjacency rows come out fully sorted by
+  // concatenating its covered fragments in ascending part order.
+  for (const auto& bkt : bucket) {
+    for (const HeldEdge& he : bkt) {
+      for (const NodeId g : {he.e.tail, he.e.head}) {
+        NodeId& slot = global_to_compact[static_cast<std::size_t>(g)];
+        if (slot < 0) {
+          slot = 0;  // seen; the real id is assigned after the sort
+          compact_to_global.push_back(g);
+        }
+      }
+    }
+  }
+  std::sort(compact_to_global.begin(), compact_to_global.end(),
+            [&](NodeId x, NodeId y) {
+              const int px = part[static_cast<std::size_t>(x)];
+              const int py = part[static_cast<std::size_t>(y)];
+              return px != py ? px < py : x < y;
+            });
+  const auto compact_n = static_cast<NodeId>(compact_to_global.size());
+  for (NodeId c = 0; c < compact_n; ++c) {
+    global_to_compact[static_cast<std::size_t>(
+        compact_to_global[static_cast<std::size_t>(c)])] = c;
+  }
+  std::vector<NodeId> part_begin(static_cast<std::size_t>(q) + 1, 0);
+  for (NodeId c = 0; c < compact_n; ++c) {
+    ++part_begin[static_cast<std::size_t>(
+        part[static_cast<std::size_t>(
+            compact_to_global[static_cast<std::size_t>(c)])]) + 1];
+  }
+  for (int a = 0; a < q; ++a) {
+    part_begin[static_cast<std::size_t>(a) + 1] +=
+        part_begin[static_cast<std::size_t>(a)];
+  }
+
+  // Compile each non-empty bucket once: sort its compact edge pairs, dedup
+  // (goal flags merge by OR — the union of held copies), and lay the rows
+  // out as a CSR over the lower part's compact range. This is the only
+  // O(m log m) pass left; every representative below reuses it.
+  std::vector<Fragment> fragment(static_cast<std::size_t>(q * q));
+  {
+    struct CompactEdge {
+      NodeId lo, hi;
+      std::uint8_t goal;
+    };
+    std::vector<CompactEdge> scratch;
+    for (int a = 0; a < q; ++a) {
+      for (int b = a; b < q; ++b) {
+        const auto& bkt = bucket[static_cast<std::size_t>(pair_index(a, b, q))];
+        if (bkt.empty()) continue;
+        scratch.clear();
+        scratch.reserve(bkt.size());
+        for (const HeldEdge& he : bkt) {
+          NodeId cu = global_to_compact[static_cast<std::size_t>(he.e.tail)];
+          NodeId cv = global_to_compact[static_cast<std::size_t>(he.e.head)];
+          if (cu > cv) std::swap(cu, cv);
+          scratch.push_back(
+              CompactEdge{cu, cv, static_cast<std::uint8_t>(he.goal)});
+        }
+        std::sort(scratch.begin(), scratch.end(),
+                  [](const CompactEdge& x, const CompactEdge& y) {
+                    return x.lo != y.lo ? x.lo < y.lo : x.hi < y.hi;
+                  });
+        Fragment& f = fragment[static_cast<std::size_t>(pair_index(a, b, q))];
+        const NodeId lo_begin = part_begin[static_cast<std::size_t>(a)];
+        const NodeId lo_end = part_begin[static_cast<std::size_t>(a) + 1];
+        f.off.assign(static_cast<std::size_t>(lo_end - lo_begin) + 1, 0);
+        f.nbr.reserve(scratch.size());
+        f.goal.reserve(scratch.size());
+        for (std::size_t i = 0; i < scratch.size(); ++i) {
+          const CompactEdge& ce = scratch[i];
+          if (i > 0 && scratch[i - 1].lo == ce.lo &&
+              scratch[i - 1].hi == ce.hi) {
+            // Duplicate held copy of the same edge: keep one, OR the goal.
+            auto& g = f.goal.back();
+            f.goal_count += static_cast<std::int64_t>(ce.goal & ~g);
+            g |= ce.goal;
+            continue;
+          }
+          f.nbr.push_back(ce.hi);
+          f.goal.push_back(ce.goal);
+          f.goal_count += ce.goal;
+          ++f.off[static_cast<std::size_t>(ce.lo - lo_begin) + 1];
+        }
+        for (std::size_t r = 1; r < f.off.size(); ++r) {
+          f.off[r] += f.off[r - 1];
+        }
+      }
+    }
+  }
+
   // Receive loads, then the per-node listing. Nodes with identical part
   // multisets receive identical edge sets and would produce identical
   // outputs, so only the first representative of each multiset enumerates
@@ -77,82 +226,81 @@ InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
   // from the sorted flat table.
   const std::vector<NodeId> rep = representative_table(tuple, q);
   std::vector<std::int64_t> recv_load(static_cast<std::size_t>(k), 0);
-  std::vector<HeldEdge> local_edges;
-  // Dense global→compact interning table over base ids. thread_local so
-  // the O(n) buffer is NOT re-allocated per cluster call (arb_list calls
-  // this once per cluster): all slots are -1 between uses — each use
-  // resets exactly the entries recorded in compact_to_global, including
-  // across calls (the reset below walks the previous use's ids first).
-  static thread_local std::vector<NodeId> global_to_compact;
-  static thread_local std::vector<NodeId> compact_to_global;
-  if (global_to_compact.size() < static_cast<std::size_t>(base.node_count())) {
-    global_to_compact.resize(static_cast<std::size_t>(base.node_count()), -1);
-  }
+  // Per-representative scratch, reused across representatives: the covered
+  // fragments keyed by their lower part, in ascending higher-part order.
+  std::vector<std::vector<const Fragment*>> lower(static_cast<std::size_t>(q));
+  std::vector<Edge> edges;
+  std::vector<std::uint8_t> edge_goal;
+  EdgeMask local_goal;
   for (NodeId j = 0; j < k; ++j) {
     const auto& s = tuple[static_cast<std::size_t>(j)];
     const bool is_rep = rep[static_cast<std::size_t>(j)] == j;
-    local_edges.clear();
+    std::int64_t rep_edges = 0;
+    std::int64_t rep_goals = 0;
+    if (is_rep) {
+      for (auto& l : lower) l.clear();
+    }
     for (int a = 0; a < q; ++a) {
       for (int b = a; b < q; ++b) {
         if (!multiset_covers(s, a, b)) continue;
-        const auto& bkt = bucket[static_cast<std::size_t>(pair_index(a, b, q))];
+        const auto idx = static_cast<std::size_t>(pair_index(a, b, q));
         recv_load[static_cast<std::size_t>(j)] +=
-            static_cast<std::int64_t>(bkt.size());
-        if (is_rep) {
-          local_edges.insert(local_edges.end(), bkt.begin(), bkt.end());
-        }
+            static_cast<std::int64_t>(bucket[idx].size());
+        if (!is_rep) continue;
+        const Fragment& f = fragment[idx];
+        if (f.edge_count() == 0) continue;
+        lower[static_cast<std::size_t>(a)].push_back(&f);
+        rep_edges += f.edge_count();
+        rep_goals += f.goal_count;
       }
-    }
-    if (!is_rep || static_cast<int>(local_edges.size()) < p * (p - 1) / 2) {
-      continue;
-    }
-    // Step 4: local Kp enumeration on the received edges.
-    for (const NodeId g : compact_to_global) {
-      global_to_compact[static_cast<std::size_t>(g)] = -1;
-    }
-    compact_to_global.clear();
-    std::vector<Edge> edges;
-    edges.reserve(local_edges.size());
-    auto intern = [&](NodeId g) {
-      NodeId& slot = global_to_compact[static_cast<std::size_t>(g)];
-      if (slot < 0) {
-        slot = static_cast<NodeId>(compact_to_global.size());
-        compact_to_global.push_back(g);
-      }
-      return slot;
-    };
-    std::size_t goal_count = 0;
-    for (const HeldEdge& he : local_edges) {
-      edges.push_back(make_edge(intern(he.e.tail), intern(he.e.head)));
-      goal_count += static_cast<std::size_t>(he.goal);
     }
     // A representative that received no goal edge can skip its enumeration
     // entirely: nothing it lists could be reported.
-    if (goal_count == 0) continue;
+    if (!is_rep || rep_edges < p * (p - 1) / 2 || rep_goals == 0) {
+      continue;
+    }
     // When *every* received edge is a goal edge (the common dense-goal
     // case), every listed clique trivially qualifies — no bitmap, no
     // per-clique checks.
-    const bool all_goal = goal_count == local_edges.size();
-    // The bitmap build below needs the pre-sort pair order (from_edges
-    // moves and sorts `edges`); only the mixed-goal case reads it.
-    std::vector<Edge> local_pairs;
-    if (!all_goal) local_pairs = edges;
-    const Graph local = Graph::from_edges(
-        static_cast<NodeId>(compact_to_global.size()), std::move(edges));
-    // Goal bitmap over *local* edge ids: the flags resolved at bucket time
-    // land on local ids with one local (small, cache-hot) edge_id lookup
-    // per received edge, so the per-clique goal checks below never touch
-    // the base graph — up to p(p-1)/2 base-graph binary searches per
-    // listed clique in the old scheme (every clique pair is a local edge
-    // by construction, so the local mask answers the same question).
-    EdgeMask local_goal;
-    if (!all_goal) {
-      local_goal.assign(local.edge_count(), false);
-      for (std::size_t i = 0; i < local_edges.size(); ++i) {
-        if (!local_edges[i].goal) continue;
-        local_goal.set(*local.edge_id(local_pairs[i].u, local_pairs[i].v));
+    const bool all_goal = rep_goals == rep_edges;
+    // Step 4: assemble the local graph by concatenating the covered
+    // fragments. Compact ids ascend part-major, so walking parts in
+    // ascending order and each part's range in ascending id order visits
+    // sources in ascending compact order, and each source's covered rows
+    // (its own part first, then higher parts) concatenate into one
+    // ascending neighbor run — the emitted edge list is lexicographically
+    // sorted by construction and feeds the sort-free Graph factory. Edge
+    // ids equal emission positions, so the goal flags land on local ids
+    // with no lookups at all.
+    edges.clear();
+    edges.reserve(static_cast<std::size_t>(rep_edges));
+    edge_goal.clear();
+    for (int a = 0; a < q; ++a) {
+      const auto& frags = lower[static_cast<std::size_t>(a)];
+      if (frags.empty()) continue;
+      const NodeId lo_begin = part_begin[static_cast<std::size_t>(a)];
+      const NodeId lo_end = part_begin[static_cast<std::size_t>(a) + 1];
+      for (NodeId u = lo_begin; u < lo_end; ++u) {
+        const auto row = static_cast<std::size_t>(u - lo_begin);
+        for (const Fragment* f : frags) {
+          const std::uint32_t rb = f->off[row];
+          const std::uint32_t re = f->off[row + 1];
+          for (std::uint32_t i = rb; i < re; ++i) {
+            edges.push_back(Edge{u, f->nbr[i]});
+            if (!all_goal) edge_goal.push_back(f->goal[i]);
+          }
+        }
       }
     }
+    if (!all_goal) {
+      local_goal.assign(static_cast<EdgeId>(edges.size()), false);
+      for (std::size_t e = 0; e < edge_goal.size(); ++e) {
+        if (edge_goal[e]) local_goal.set(static_cast<EdgeId>(e));
+      }
+    }
+    const Graph local =
+        Graph::from_sorted_edges(compact_n, std::move(edges));
+    edges = {};  // moved-from; reset for the next representative
     const auto cliques = list_k_cliques(local, p);
     // Reserve hint: the dedup table absorbs this enumeration without a
     // growth rehash (duplication-discounted inside reserve_additional).

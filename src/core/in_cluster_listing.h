@@ -22,6 +22,16 @@
 // caller; `InClusterChargeMode::worst_case` replaces the measured loads by
 // the oblivious O(p² (n/q)²) potential-pair budget that a non-sparsity-
 // aware algorithm must schedule for (ablation E7b).
+//
+// Execution note (docs/PERFORMANCE.md "Cluster-parallel listing"): step 4
+// compiles each part-pair bucket once into an interned CSR fragment and
+// assembles every representative's local graph by a linear fragment merge
+// (identical-multiset representatives still enumerate once). The routine
+// is safe to call concurrently for DISTINCT clusters from worker threads —
+// its only shared state is per-thread (thread_local interning buffers) —
+// which is exactly how arb_list's sharded per-cluster tail drives it; the
+// caller supplies a pre-split per-cluster Rng so results never depend on
+// scheduling.
 #pragma once
 
 #include <cstdint>

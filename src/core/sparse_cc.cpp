@@ -117,6 +117,9 @@ SparseCcResult sparse_cc_list(const Graph& g, const SparseCcConfig& cfg,
   // count parallel_for_shards derives, so the two can never disagree.
   std::vector<std::vector<std::int64_t>> shard_cover(
       static_cast<std::size_t>(shard_threads()));
+  // Per-node work is q^2 multiset probes; the grain keeps small instances
+  // inline (see parallel_for_shards).
+  constexpr std::int64_t kCoverGrain = 128;
   parallel_for_shards(n, [&](int shard, std::int64_t lo, std::int64_t hi) {
     auto& local_cover = shard_cover[static_cast<std::size_t>(shard)];
     local_cover.assign(static_cast<std::size_t>(q * q), 0);
@@ -131,7 +134,7 @@ SparseCcResult sparse_cc_list(const Graph& g, const SparseCcConfig& cfg,
         }
       }
     }
-  });
+  }, kCoverGrain);
   std::vector<std::int64_t> cover(static_cast<std::size_t>(q * q), 0);
   for (const auto& local_cover : shard_cover) {
     for (std::size_t idx = 0; idx < local_cover.size(); ++idx) {
@@ -164,7 +167,7 @@ SparseCcResult sparse_cc_list(const Graph& g, const SparseCcConfig& cfg,
         }
       }
     }
-  });
+  }, kCoverGrain);
   std::int64_t max_load = 0;
   for (NodeId i = 0; i < n; ++i) {
     max_load = std::max({max_load, send_load[static_cast<std::size_t>(i)],

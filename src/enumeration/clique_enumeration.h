@@ -77,6 +77,24 @@ class CliqueSet {
   /// for the dynamic engine's benches and tests.
   std::uint64_t fingerprint() const { return fingerprint_; }
 
+  /// Visits every member clique as a sorted `std::span<const NodeId>`
+  /// without materializing vectors — the allocation-free bulk-merge path
+  /// (`ListingOutput::merge_from` folds per-shard sets with it). Packed
+  /// cliques are visited in slot order, overflow cliques after; the span
+  /// is valid only for the duration of the call.
+  template <typename F>
+  void for_each_span(F&& fn) const {
+    for (const PackedKey& key : slots_) {
+      if (key[0] == kUnused) continue;
+      std::size_t len = 1;
+      while (len < kPackedMax && key[len] != kUnused) ++len;
+      fn(std::span<const NodeId>(key.data(), len));
+    }
+    for (const Clique& c : overflow_) {
+      fn(std::span<const NodeId>(c.data(), c.size()));
+    }
+  }
+
   /// Cliques present in `this` but not in `other`.
   std::vector<Clique> difference(const CliqueSet& other) const;
 

@@ -20,6 +20,11 @@ namespace {
 /// of the fixed-seed fingerprint).
 void apply_lazy_walk(const Graph& g, const std::vector<double>& x,
                      std::vector<double>& out) {
+  // A row is a few flops per neighbor, and the power iteration applies
+  // the operator hundreds of times — without a grain the per-application
+  // pool dispatch dominated on laptop-sized cluster candidates (measured
+  // as a net DCL_THREADS=4 *slowdown* on the committed bench inputs).
+  constexpr std::int64_t kRowGrain = 2048;
   parallel_for_shards(g.node_count(), [&](int, std::int64_t lo,
                                           std::int64_t hi) {
     for (auto v = static_cast<NodeId>(lo); v < static_cast<NodeId>(hi); ++v) {
@@ -32,7 +37,7 @@ void apply_lazy_walk(const Graph& g, const std::vector<double>& x,
       out[static_cast<std::size_t>(v)] =
           0.5 * (x[static_cast<std::size_t>(v)] + walk);
     }
-  });
+  }, kRowGrain);
 }
 
 /// Removes the component along the stationary distribution π(v) ∝ deg(v).

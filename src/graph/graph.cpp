@@ -1,23 +1,19 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <cassert>
 #include <queue>
 #include <stdexcept>
 
 namespace dcl {
 
-Graph Graph::from_edges(NodeId n, std::vector<Edge> edges) {
-  if (n < 0) throw std::invalid_argument("Graph: negative node count");
-  for (auto& e : edges) {
-    if (e.u == e.v) throw std::invalid_argument("Graph: self-loop");
-    if (e.u < 0 || e.v < 0 || e.u >= n || e.v >= n) {
-      throw std::invalid_argument("Graph: endpoint out of range");
-    }
-    e = make_edge(e.u, e.v);
-  }
-  std::sort(edges.begin(), edges.end());
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-
+/// Shared CSR build over a normalized, lexicographically sorted,
+/// duplicate-free edge list. A counting scatter in edge order fills every
+/// neighbor row already sorted: row v first receives its lower-id
+/// neighbors x (edges {x, v} with x < v appear in ascending x before any
+/// edge {v, ·}), then its higher-id neighbors w (edges {v, w} in ascending
+/// w) — so no per-row sort is needed.
+Graph Graph::build_from_sorted(NodeId n, std::vector<Edge> edges) {
   Graph g;
   g.n_ = n;
   g.edges_ = std::move(edges);
@@ -48,24 +44,33 @@ Graph Graph::from_edges(NodeId n, std::vector<Edge> edges) {
     g.adj_edge_[cv] = static_cast<EdgeId>(i);
     ++cv;
   }
-  // Neighbor lists must be sorted for binary-search adjacency and for the
-  // sorted-intersection enumeration kernels. Sort each node's slice together
-  // with the aligned edge ids.
-  for (NodeId v = 0; v < n; ++v) {
-    const auto begin = g.offsets_[static_cast<std::size_t>(v)];
-    const auto end = g.offsets_[static_cast<std::size_t>(v) + 1];
-    std::vector<std::pair<NodeId, EdgeId>> slice;
-    slice.reserve(end - begin);
-    for (auto i = begin; i < end; ++i) {
-      slice.emplace_back(g.adj_[i], g.adj_edge_[i]);
-    }
-    std::sort(slice.begin(), slice.end());
-    for (std::size_t k = 0; k < slice.size(); ++k) {
-      g.adj_[begin + k] = slice[k].first;
-      g.adj_edge_[begin + k] = slice[k].second;
-    }
-  }
   return g;
+}
+
+Graph Graph::from_edges(NodeId n, std::vector<Edge> edges) {
+  if (n < 0) throw std::invalid_argument("Graph: negative node count");
+  for (auto& e : edges) {
+    if (e.u == e.v) throw std::invalid_argument("Graph: self-loop");
+    if (e.u < 0 || e.v < 0 || e.u >= n || e.v >= n) {
+      throw std::invalid_argument("Graph: endpoint out of range");
+    }
+    e = make_edge(e.u, e.v);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return build_from_sorted(n, std::move(edges));
+}
+
+Graph Graph::from_sorted_edges(NodeId n, std::vector<Edge> edges) {
+  if (n < 0) throw std::invalid_argument("Graph: negative node count");
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    assert(e.u < e.v && e.u >= 0 && e.v < n && "from_sorted_edges: not normalized");
+    assert((i == 0 || edges[i - 1] < e) && "from_sorted_edges: not sorted/unique");
+  }
+#endif
+  return build_from_sorted(n, std::move(edges));
 }
 
 std::optional<EdgeId> Graph::edge_id(NodeId a, NodeId b) const {

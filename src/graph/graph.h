@@ -47,6 +47,16 @@ class Graph {
   /// `std::invalid_argument` on self-loops or endpoints outside [0, n).
   static Graph from_edges(NodeId n, std::vector<Edge> edges);
 
+  /// Fast-path factory for callers that already hold a normalized
+  /// (`u < v`), lexicographically sorted, duplicate-free edge list — e.g.
+  /// the in-cluster lister's fragment assembly, which emits edges in
+  /// sorted order by construction. Skips the normalize/sort/unique pass of
+  /// `from_edges` and builds the CSR with one counting scatter (the
+  /// scatter of a sorted edge list leaves every neighbor row sorted, so no
+  /// per-row sort is needed either). The precondition is checked in debug
+  /// builds (assert); edge ids equal positions in `edges`.
+  static Graph from_sorted_edges(NodeId n, std::vector<Edge> edges);
+
   NodeId node_count() const { return n_; }
   EdgeId edge_count() const { return static_cast<EdgeId>(edges_.size()); }
 
@@ -89,6 +99,10 @@ class Graph {
   std::pair<std::vector<int>, int> connected_components() const;
 
  private:
+  /// Shared CSR build over a normalized, sorted, duplicate-free edge list
+  /// (the tail of both factories).
+  static Graph build_from_sorted(NodeId n, std::vector<Edge> edges);
+
   std::size_t offset(NodeId v) const {
     return offsets_[static_cast<std::size_t>(v)];
   }

@@ -36,6 +36,13 @@ void ParallelRoutingCharge::add_cluster(std::int64_t max_load,
                                          b)));
 }
 
+void ParallelRoutingCharge::merge_from(const ParallelRoutingCharge& other) {
+  any_ = any_ || other.any_;
+  worst_load_ = std::max(worst_load_, other.worst_load_);
+  worst_rounds_ = std::max(worst_rounds_, other.worst_rounds_);
+  total_messages_ += other.total_messages_;
+}
+
 double ParallelRoutingCharge::commit(RoundLedger& ledger,
                                      const std::string& label,
                                      NodeId ambient_n) {

@@ -51,6 +51,13 @@ class ParallelRoutingCharge {
   void add_cluster(std::int64_t max_load, std::int64_t bandwidth,
                    std::uint64_t messages);
 
+  /// Folds another accumulator into this one, as if its add_cluster calls
+  /// had been made here. The state is (max, max, sum, or) — every fold is
+  /// order- and grouping-independent, so per-shard accumulators merged in
+  /// shard order commit the exact charge the sequential per-cluster loop
+  /// would have (the cluster-parallel ARB-LIST tail depends on this).
+  void merge_from(const ParallelRoutingCharge& other);
+
   /// Charges the ledger and returns the rounds charged.
   double commit(RoundLedger& ledger, const std::string& label,
                 NodeId ambient_n);

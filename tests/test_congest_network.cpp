@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
-#include <stdexcept>
-
+#include <algorithm>
 #include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
 
+#include "common/rng.h"
+#include "congest/delivery_arena.h"
 #include "congest/engine.h"
 #include "graph/generators.h"
 
@@ -345,6 +349,121 @@ TEST(CongestNetwork, SparsePhaseSequenceChargesLikeFreshNetworks) {
   EXPECT_DOUBLE_EQ(net.ledger().total_rounds(), expected_rounds);
   EXPECT_EQ(net.ledger().total_messages(), expected_msgs);
   EXPECT_EQ(net.phase_count(), 60u);
+}
+
+/// Reference delivery: the pre-arena semantics (one vector per recipient,
+/// stable sort by sender) that every DeliveryArena path must reproduce
+/// byte for byte.
+std::vector<std::vector<Delivery>> reference_deliver(
+    NodeId n, const std::vector<QueuedMessage>& queue) {
+  std::vector<std::vector<std::pair<NodeId, Message>>> tagged(
+      static_cast<std::size_t>(n));
+  for (const QueuedMessage& q : queue) {
+    tagged[static_cast<std::size_t>(q.to)].emplace_back(q.from, q.msg);
+  }
+  std::vector<std::vector<Delivery>> inboxes(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    auto& in = tagged[static_cast<std::size_t>(v)];
+    std::stable_sort(in.begin(), in.end(),
+                     [](const auto& x, const auto& y) {
+                       return x.first < y.first;
+                     });
+    for (const auto& [from, msg] : in) {
+      inboxes[static_cast<std::size_t>(v)].push_back({from, msg});
+    }
+  }
+  return inboxes;
+}
+
+/// Generation-stamped delivery (ROADMAP lever f): a phase touching a
+/// handful of endpoints must not pay — or depend on — O(n) state. The
+/// regression alternates sparse phases (the stamped path), dense phases
+/// (the full-sweep fallback), and empty phases on one arena, checking
+/// every inbox against the reference stable sort each time: stale stamps
+/// must read as empty, and no offsets may leak across phases or across
+/// the dense/sparse crossover.
+TEST(DeliveryArena, SparseDenseCrossoverMatchesReferenceEveryPhase) {
+  const NodeId n = 257;
+  DeliveryArena arena;
+  arena.reset(n);
+  Rng gen(123);
+  for (int phase = 0; phase < 40; ++phase) {
+    std::vector<QueuedMessage> queue;
+    const int shape = phase % 4;
+    if (shape == 3) {
+      // Empty phase: everything must read as empty afterwards.
+    } else if (shape == 2) {
+      // Dense burst: well past the n/4 touched threshold.
+      for (NodeId v = 0; v < n; ++v) {
+        for (int i = 0; i < 2; ++i) {
+          queue.push_back({v,
+                           static_cast<NodeId>(gen.next_below(
+                               static_cast<std::uint64_t>(n))),
+                           Message{.tag = phase, .a = v, .b = i}});
+        }
+      }
+    } else {
+      // Sparse: a handful of senders/recipients out of 257, repeated
+      // senders so per-sender send order matters.
+      const int sends = 1 + static_cast<int>(gen.next_below(9));
+      for (int i = 0; i < sends; ++i) {
+        const auto from = static_cast<NodeId>(gen.next_below(7));
+        const auto to =
+            static_cast<NodeId>(gen.next_below(static_cast<std::uint64_t>(n)));
+        queue.push_back({from, to, Message{.tag = phase, .a = i}});
+      }
+    }
+    arena.invalidate();
+    EXPECT_EQ(arena.delivered_count(), 0u);
+    arena.deliver(queue);
+    const auto expected = reference_deliver(n, queue);
+    EXPECT_EQ(arena.delivered_count(), queue.size()) << "phase " << phase;
+    for (NodeId v = 0; v < n; ++v) {
+      const auto in = arena.inbox(v);
+      const auto& want = expected[static_cast<std::size_t>(v)];
+      ASSERT_EQ(in.size(), want.size()) << "phase " << phase << " v " << v;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(in[i].from, want[i].from);
+        EXPECT_EQ(in[i].msg.tag, want[i].msg.tag);
+        EXPECT_EQ(in[i].msg.a, want[i].msg.a);
+        EXPECT_EQ(in[i].msg.b, want[i].msg.b);
+      }
+    }
+  }
+}
+
+/// The ledger contract of the stamped arena, end to end through the
+/// network: a long sparse-phase sequence on a large graph must charge and
+/// deliver exactly like fresh networks (the sparse-phase analogue of the
+/// edge-load regression above, now covering the delivery plane too).
+TEST(CongestNetwork, SparsePhaseDeliveryMatchesFreshNetworks) {
+  Rng gen(321);
+  const Graph g = erdos_renyi_gnm(300, 1200, gen);
+  CongestNetwork net(g);
+  for (int phase = 0; phase < 30; ++phase) {
+    CongestNetwork fresh(g);
+    net.begin_phase("sparse");
+    fresh.begin_phase("sparse");
+    const int sends = 1 + phase % 4;  // touches ≤ 8 of 300 nodes
+    for (int i = 0; i < sends; ++i) {
+      const auto e = static_cast<EdgeId>(
+          gen.next_below(static_cast<std::uint64_t>(g.edge_count())));
+      const Edge& ed = g.edge(e);
+      net.send(ed.u, ed.v, Message{.tag = phase, .a = i});
+      fresh.send(ed.u, ed.v, Message{.tag = phase, .a = i});
+    }
+    EXPECT_EQ(net.end_phase(), fresh.end_phase()) << "phase " << phase;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const auto a = net.inbox(v);
+      const auto b = fresh.inbox(v);
+      ASSERT_EQ(a.size(), b.size()) << "phase " << phase << " v " << v;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].from, b[i].from);
+        EXPECT_EQ(a[i].msg.tag, b[i].msg.tag);
+        EXPECT_EQ(a[i].msg.a, b[i].msg.a);
+      }
+    }
+  }
 }
 
 /// Differential fuzz: the network's congestion accounting must equal a

@@ -167,6 +167,59 @@ TEST(InClusterListing, ReportersAreClusterMembers) {
   EXPECT_GT(out.total_reports(), 0u);
 }
 
+TEST(InClusterListing, InternBuffersSurviveShrinkThenGrowAcrossGraphs) {
+  // The interning buffers are function-static thread_local and sized to
+  // the base graph: a large graph grows them, a much smaller one triggers
+  // the shrink policy, and a large graph again must regrow them with the
+  // all-slots-reset invariant intact. Any stale compact id or missed
+  // reset surfaces as a wrong clique set here. All three calls run on
+  // THIS thread (gtest runs the body single-threaded), so they hit the
+  // same buffers in sequence.
+  Rng big_gen(41);
+  Scenario big(erdos_renyi_gnm(9000, 4000, big_gen));
+  Rng small_gen(42);
+  Scenario small(erdos_renyi_gnp(24, 0.4, small_gen));
+
+  for (int round = 0; round < 2; ++round) {
+    {
+      Rng rng(100 + static_cast<std::uint64_t>(round));
+      ListingOutput out(big.g.node_count());
+      in_cluster_list(big.problem(3), rng, out);
+      EXPECT_TRUE(out.cliques() == CliqueSet(list_k_cliques(big.g, 3)))
+          << "big round " << round;
+    }
+    {
+      // 9000-slot buffer vs max(4·24, 4096) threshold: this call shrinks.
+      Rng rng(200 + static_cast<std::uint64_t>(round));
+      ListingOutput out(small.g.node_count());
+      in_cluster_list(small.problem(3), rng, out);
+      EXPECT_TRUE(out.cliques() == CliqueSet(list_k_cliques(small.g, 3)))
+          << "small round " << round;
+    }
+  }
+}
+
+TEST(InClusterListing, DuplicateHeldEdgesDoNotChangeTheListing) {
+  // Fragment compilation dedups identical held edges and ORs their goal
+  // flags; a bucket holding the same edge twice (here: duplicated inside
+  // one holder's list before dedup normally happens upstream) must list
+  // exactly the same cliques as the clean problem.
+  Rng gen(7);
+  Scenario clean(erdos_renyi_gnp(20, 0.5, gen));
+  Scenario doubled = clean;
+  for (auto& h : doubled.holders) {
+    const auto original = h;
+    h.insert(h.end(), original.begin(), original.end());
+  }
+  Rng rng_a(31), rng_b(31);
+  ListingOutput out_a(clean.g.node_count());
+  ListingOutput out_b(doubled.g.node_count());
+  in_cluster_list(clean.problem(4), rng_a, out_a);
+  in_cluster_list(doubled.problem(4), rng_b, out_b);
+  EXPECT_TRUE(out_a.cliques() == out_b.cliques());
+  EXPECT_TRUE(out_a.cliques() == CliqueSet(list_k_cliques(clean.g, 4)));
+}
+
 TEST(InClusterListing, HolderCountMismatchThrows) {
   Scenario s(complete_graph(4));
   s.holders.pop_back();

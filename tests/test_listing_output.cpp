@@ -107,6 +107,104 @@ TEST(ListingOutput, ReserveAdditionalPreservesState) {
   EXPECT_TRUE(out.cliques().contains(Clique{0, 1, 2}));
 }
 
+TEST(ListingOutput, ReserveAdditionalClampsTheColdStart) {
+  // Regression for the cold-start reserve trap: with no observations the
+  // duplication factor reads 0.0, which used to mean NO discount — the
+  // first heavy enumeration reserved for raw reports, the exact cache-loss
+  // case the PR 4 A/B measured. The cold hint must now be discounted by
+  // kColdStartDuplication. Observable contract (the table is private):
+  // a cold reserve of N must behave identically to a cold reserve of
+  // N / kColdStartDuplication — and state must be preserved either way.
+  ListingOutput cold(4);
+  cold.reserve_additional(1u << 20);
+  EXPECT_EQ(cold.unique_count(), 0u);
+  EXPECT_EQ(cold.total_reports(), 0u);
+  EXPECT_DOUBLE_EQ(cold.duplication_factor(), 0.0);
+  const NodeId c[] = {0, 1, 2};
+  cold.report(0, c);
+  EXPECT_EQ(cold.unique_count(), 1u);
+  EXPECT_TRUE(cold.cliques().contains(Clique{0, 1, 2}));
+}
+
+TEST(ListingOutput, ReserveDiscountUsesObservedFactorWhenWarm) {
+  // Once reports exist, the observed duplication factor drives the
+  // discount (kColdStartDuplication must NOT override real observations
+  // of no duplication: a warm duplication-free collector reserves the
+  // full hint and absorbs that many inserts without losing state).
+  ListingOutput warm(4);
+  const NodeId a[] = {0, 1, 2};
+  warm.report(0, a);
+  EXPECT_DOUBLE_EQ(warm.duplication_factor(), 1.0);
+  warm.reserve_additional(5000);
+  for (NodeId i = 0; i < 5000; ++i) {
+    const NodeId c[] = {i, i + 10000, i + 20000};
+    warm.report(1, c);
+  }
+  EXPECT_EQ(warm.unique_count(), 5001u);
+}
+
+TEST(ListingOutput, DuplicationHintFloorsTheDiscount) {
+  // Per-shard buffers adopt the global collector's duplication factor:
+  // a hinted cold buffer must keep working exactly like an unhinted one
+  // from the caller's point of view (the hint only changes table sizing).
+  ListingOutput shard(4);
+  shard.set_duplication_hint(8.0);
+  shard.reserve_additional(100000);
+  const NodeId a[] = {0, 1, 2};
+  const NodeId b[] = {1, 2, 3};
+  shard.report(0, a);
+  shard.report(1, a);
+  shard.report(2, b);
+  EXPECT_EQ(shard.unique_count(), 2u);
+  EXPECT_EQ(shard.total_reports(), 3u);
+  EXPECT_TRUE(shard.cliques().contains(Clique{0, 1, 2}));
+  EXPECT_TRUE(shard.cliques().contains(Clique{1, 2, 3}));
+}
+
+TEST(ListingOutput, MergeFromReproducesSequentialCounters) {
+  // The cluster-parallel ARB-LIST contract: splitting a report stream
+  // across shard buffers and merging them in shard order must land on the
+  // exact counters and clique set of the sequential execution — including
+  // cross-shard duplicates and the running per-node maximum.
+  const NodeId n = 6;
+  const NodeId cliques[][3] = {{0, 1, 2}, {1, 2, 3}, {2, 3, 4},
+                               {0, 1, 2}, {3, 4, 5}, {1, 2, 3}};
+  const NodeId reporters[] = {0, 1, 1, 2, 5, 5};
+
+  ListingOutput sequential(n);
+  for (std::size_t i = 0; i < 6; ++i) {
+    sequential.report(reporters[i], cliques[i]);
+  }
+
+  ListingOutput merged(n);
+  ListingOutput shard_a(n), shard_b(n);
+  for (std::size_t i = 0; i < 3; ++i) shard_a.report(reporters[i], cliques[i]);
+  for (std::size_t i = 3; i < 6; ++i) shard_b.report(reporters[i], cliques[i]);
+  merged.merge_from(shard_a);
+  merged.merge_from(shard_b);
+
+  EXPECT_EQ(merged.unique_count(), sequential.unique_count());
+  EXPECT_EQ(merged.total_reports(), sequential.total_reports());
+  EXPECT_EQ(merged.max_reports_per_node(), sequential.max_reports_per_node());
+  EXPECT_DOUBLE_EQ(merged.duplication_factor(),
+                   sequential.duplication_factor());
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(merged.reports_of(v), sequential.reports_of(v)) << "v " << v;
+  }
+  EXPECT_TRUE(merged.cliques() == sequential.cliques());
+
+  // Merging into a collector that already holds reports (the global out
+  // between ARB-LIST iterations) accumulates rather than replaces.
+  ListingOutput global(n);
+  const NodeId pre[] = {0, 4, 5};
+  global.report(3, pre);
+  global.merge_from(shard_a);
+  EXPECT_EQ(global.total_reports(), 4u);
+  EXPECT_EQ(global.unique_count(), 4u);
+  EXPECT_EQ(global.reports_of(3), 1u);
+  EXPECT_EQ(global.reports_of(1), 2u);
+}
+
 TEST(KpConfigDefaults, MatchPaperStructure) {
   const KpConfig cfg;
   EXPECT_EQ(cfg.p, 4);

@@ -134,17 +134,27 @@ TEST(DeterminismUnderThreads, ListKpFingerprintsAreBitIdentical) {
   ListingOutput out_seq(g.node_count());
   const KpListResult seq = list_kp_collect(g, cfg, out_seq);
 
-  ListingOutput out_par(g.node_count());
-  KpListResult par;
-  {
-    ScopedShardThreads guard(4);
-    par = list_kp_collect(g, cfg, out_par);
+  // Shard counts off, at, and past the cluster counts the decomposition
+  // produces: the cluster-parallel ARB-LIST tail must merge its per-shard
+  // listing buffers and routing charges onto the sequential fingerprints
+  // at every width (including shards > clusters, where trailing shards
+  // stay empty).
+  for (const int threads : {2, 3, 4, 8}) {
+    ListingOutput out_par(g.node_count());
+    KpListResult par;
+    {
+      ScopedShardThreads guard(threads);
+      par = list_kp_collect(g, cfg, out_par);
+    }
+    EXPECT_EQ(seq.total_rounds(), par.total_rounds())
+        << "threads " << threads;  // bit-exact doubles
+    EXPECT_EQ(seq.unique_cliques, par.unique_cliques) << "threads " << threads;
+    EXPECT_EQ(seq.total_reports, par.total_reports) << "threads " << threads;
+    EXPECT_EQ(out_seq.max_reports_per_node(), out_par.max_reports_per_node())
+        << "threads " << threads;
+    EXPECT_TRUE(out_seq.cliques() == out_par.cliques())
+        << "threads " << threads;
   }
-
-  EXPECT_EQ(seq.total_rounds(), par.total_rounds());  // bit-exact doubles
-  EXPECT_EQ(seq.unique_cliques, par.unique_cliques);
-  EXPECT_EQ(seq.total_reports, par.total_reports);
-  EXPECT_TRUE(out_seq.cliques() == out_par.cliques());
 }
 
 TEST(DeterminismUnderThreads, SparseCcFingerprintsAreBitIdentical) {

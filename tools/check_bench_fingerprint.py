@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Diff the cost-model fingerprints of two BENCH_*.json snapshots.
 
-Usage: check_bench_fingerprint.py CURRENT BASELINE
+Usage: check_bench_fingerprint.py CURRENT BASELINE [--require NAME ...]
 
 The counters recorded by the self-timed harnesses (clique totals,
 round-ledger sums, per-phase round costs) are produced with fixed seeds
@@ -11,7 +11,10 @@ counters of every benchmark present in both files and exits non-zero on
 
   * a counter value that differs (bit-exact compare on the %.17g text),
   * a benchmark with counters that exists in BASELINE but is missing from
-    CURRENT (fingerprint coverage must never shrink silently).
+    CURRENT (fingerprint coverage must never shrink silently),
+  * a --require'd benchmark name absent from either file (pins must-have
+    coverage — e.g. the threaded list_kp entries — so a filtered or
+    truncated run cannot silently pass).
 
 Timings (ns_per_op, items_per_sec, iterations) are ignored entirely, so
 the check is machine- and settings-independent; benchmarks new in CURRENT
@@ -33,18 +36,28 @@ def load_counters(path):
 
 
 def main(argv):
-    if len(argv) != 3:
+    args = list(argv[1:])
+    required = []
+    if "--require" in args:
+        split = args.index("--require")
+        required = args[split + 1:]
+        args = args[:split]
+    if len(args) != 2:
         print(__doc__.strip().splitlines()[2], file=sys.stderr)
         return 2
-    current = load_counters(argv[1])
-    baseline = load_counters(argv[2])
+    current = load_counters(args[0])
+    baseline = load_counters(args[1])
 
     drift = []
+    for name in required:
+        for label, snapshot in ((args[0], current), (args[1], baseline)):
+            if name not in snapshot:
+                drift.append(f"{name}: required but missing from {label}")
     for name, base_counters in sorted(baseline.items()):
         if not base_counters:
             continue
         if name not in current:
-            drift.append(f"{name}: missing from {argv[1]}")
+            drift.append(f"{name}: missing from {args[0]}")
             continue
         cur_counters = current[name]
         for key, base_value in sorted(base_counters.items()):
