@@ -144,12 +144,13 @@ void enumeration_benchmarks(BenchReport& report, const char* input_name,
 }
 
 void list_kp_benchmark(BenchReport& report, const char* input_name,
-                       const Graph& g, int p) {
+                       const Graph& g, int p, double stop_scale = 0.1) {
   KpConfig cfg;
   cfg.p = p;
   cfg.seed = 7;
-  cfg.stop_scale = 0.1;  // drive the iterated pipeline, not just the final
-                         // broadcast, so the masks and dedup paths are hot
+  cfg.stop_scale = stop_scale;  // drive the iterated pipeline, not just the
+                                // final broadcast, so the masks and dedup
+                                // paths are hot
   // One fixed-seed reference run: the ledger totals are the cost-model
   // fingerprint that perf refactors must keep bit-identical.
   const KpListResult ref = list_kp(g, cfg);
@@ -324,6 +325,16 @@ int run(const char* out_path) {
   Rng ring_rng(13);
   const Graph ring_input = ring_of_cliques_workload(480, ring_rng, 8);
   list_kp_benchmark(report, "ring8_n480", ring_input, 4);
+  // The q=1 one-huge-cluster regime at real scale: this ER input
+  // decomposes into a SINGLE cluster, so the cluster-level sharding above
+  // has nothing to split — the entry covers the two-level scheduler's
+  // intra-cluster representative-range shards instead (stop_scale 0.01
+  // forces the iterated pipeline at n=2000; the default 0.1 threshold
+  // stops before ARB-LIST on this input). Its t4 twin pins the
+  // thread-invariance fingerprint for exactly the regime ISSUE 6 cracked.
+  Rng q1_rng(14);
+  const Graph q1_input = erdos_renyi_gnm(2000, 30000, q1_rng);
+  list_kp_benchmark(report, "er1c_n2000_m30000", q1_input, 4, 0.01);
 
   simulator_benchmarks(report);
   dynamic_benchmarks(report);

@@ -146,6 +146,34 @@ void set_shard_threads(int threads) {
                         std::memory_order_relaxed);
 }
 
+std::vector<std::int64_t> weighted_shard_bounds(
+    std::span<const std::uint64_t> weights, int shards) {
+  const auto n = static_cast<std::int64_t>(weights.size());
+  std::vector<std::int64_t> bounds(static_cast<std::size_t>(shards) + 1, n);
+  bounds[0] = 0;
+  if (shards <= 1) return bounds;
+  const std::uint64_t total = weighted_total(weights);
+  // Floor-then-top-up quotas: every shard gets floor(total/shards) weight
+  // units, and the first total%shards shards one extra unit each.
+  const std::uint64_t floor_quota = total / static_cast<std::uint64_t>(shards);
+  const std::uint64_t extra = total % static_cast<std::uint64_t>(shards);
+  std::uint64_t prefix = 0;
+  std::uint64_t cum_quota = 0;
+  std::int64_t i = 0;
+  for (int s = 1; s < shards; ++s) {
+    cum_quota += floor_quota +
+                 (static_cast<std::uint64_t>(s) <= extra ? 1 : 0);
+    // Shard s-1 ends at the first item index whose weight prefix meets the
+    // cumulative quota; i never retreats, so the bounds are non-decreasing.
+    while (i < n && prefix < cum_quota) {
+      prefix += weights[static_cast<std::size_t>(i)];
+      ++i;
+    }
+    bounds[static_cast<std::size_t>(s)] = i;
+  }
+  return bounds;
+}
+
 namespace parallel_detail {
 void run_sharded(int shards, const std::function<void(int)>& body) {
   WorkerPool::instance().run(shards, body);

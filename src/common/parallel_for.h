@@ -21,6 +21,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <span>
+#include <vector>
 
 namespace dcl {
 
@@ -72,6 +74,83 @@ void parallel_for_shards(std::int64_t n, Body&& body,
         s * chunk + std::min<std::int64_t>(s, extra);
     const std::int64_t hi = lo + chunk + (s < extra ? 1 : 0);
     body(s, lo, hi);
+  };
+  parallel_detail::run_sharded(shards, shard_body);
+}
+
+// ---- Weighted-item sharding ------------------------------------------------
+//
+// Equal-count shards are the wrong decomposition when per-item cost is
+// skewed (the q=1 one-huge-cluster regime: a handful of representative
+// ranges carry most of the enumeration work). The weighted variant takes a
+// per-item work estimate and cuts *contiguous* item ranges of near-equal
+// total weight instead. All weight arithmetic is 64-bit end to end:
+// out-degree² estimates overflow uint32 well below the ROADMAP target
+// scales (a single 70k-degree hub exceeds 2^32 on its own).
+
+/// Total weight, summed in 64 bits.
+inline std::uint64_t weighted_total(std::span<const std::uint64_t> weights) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : weights) total += w;
+  return total;
+}
+
+/// The shard count parallel_for_weighted_shards derives: shard_threads(),
+/// capped by the item count and — when a grain is given — by
+/// total_weight / min_grain_weight, so a loop whose total estimated work
+/// cannot amortize the pool's dispatch latency runs inline instead
+/// (measured: grain-less sharding is a net DCL_THREADS=4 *loss* at laptop
+/// sizes; the grain rule mirrors parallel_for_shards' min_grain).
+inline int weighted_shard_count(std::uint64_t total_weight,
+                                std::int64_t item_count,
+                                std::uint64_t min_grain_weight = 0) {
+  if (item_count <= 0) return 0;
+  std::int64_t cap = shard_threads();
+  if (min_grain_weight > 0) {
+    cap = std::min<std::int64_t>(
+        cap, static_cast<std::int64_t>(total_weight / min_grain_weight));
+  }
+  return static_cast<int>(std::max<std::int64_t>(
+      1, std::min<std::int64_t>(cap, item_count)));
+}
+
+/// Deterministic floor-then-top-up proportional allocation of weighted
+/// items to `shards` contiguous ranges (the Cluster::try_alloc shape:
+/// every shard's quota is floor(W/shards), and the W mod shards remainder
+/// units top up the leading shards — exactly the chunk/extra rule of
+/// parallel_for_shards generalized to weights). Range boundaries are cut
+/// where the item-weight prefix sum first meets the cumulative quota, so
+/// the result is a pure function of (weights, shards): merge order is
+/// stable and independent of scheduling. Returns shards+1 boundaries
+/// (bounds[0] = 0, bounds[shards] = n); a range may be empty when one item
+/// outweighs several quotas.
+std::vector<std::int64_t> weighted_shard_bounds(
+    std::span<const std::uint64_t> weights, int shards);
+
+/// Splits the items [0, weights.size()) into weighted_shard_count()
+/// contiguous ranges of near-equal estimated work and runs
+/// `body(shard, begin, end)` for each (empty ranges included, so shard
+/// indices always align with caller-allocated per-shard buffers). With one
+/// effective shard — including whenever the total estimated work is below
+/// `min_grain_weight` — the body runs inline on the calling thread: the
+/// sequential fast path. Same merge contract as parallel_for_shards.
+template <typename Body>
+void parallel_for_weighted_shards(std::span<const std::uint64_t> weights,
+                                  Body&& body,
+                                  std::uint64_t min_grain_weight = 0) {
+  const auto n = static_cast<std::int64_t>(weights.size());
+  if (n <= 0) return;
+  const int shards =
+      weighted_shard_count(weighted_total(weights), n, min_grain_weight);
+  if (shards <= 1) {
+    body(0, std::int64_t{0}, n);
+    return;
+  }
+  const std::vector<std::int64_t> bounds =
+      weighted_shard_bounds(weights, shards);
+  const std::function<void(int)> shard_body = [&](int s) {
+    body(s, bounds[static_cast<std::size_t>(s)],
+         bounds[static_cast<std::size_t>(s) + 1]);
   };
   parallel_detail::run_sharded(shards, shard_body);
 }

@@ -11,6 +11,8 @@ CliqueNetwork::CliqueNetwork(NodeId n, CliqueRoutingMode mode)
     : n_(n), mode_(mode) {
   if (n < 2) throw std::invalid_argument("CliqueNetwork: need >= 2 nodes");
   arena_.reset(n);
+  sent_stamp_.assign(static_cast<std::size_t>(n), 0);
+  recv_stamp_.assign(static_cast<std::size_t>(n), 0);
   sent_.assign(static_cast<std::size_t>(n), 0);
   received_.assign(static_cast<std::size_t>(n), 0);
 }
@@ -22,8 +24,14 @@ void CliqueNetwork::begin_phase(std::string label) {
   phase_label_ = std::move(label);
   phase_open_ = true;
   queue_.clear();
-  std::fill(sent_.begin(), sent_.end(), 0);
-  std::fill(received_.begin(), received_.end(), 0);
+  // Generation bump instead of two O(n) std::fill passes: every slot's
+  // stamp is now stale, so all loads read as zero until the phase's first
+  // send to that endpoint re-stamps it (regression: a 60-phase sparse
+  // sequence must charge exactly like fresh networks; see
+  // tests/test_clique_network.cpp).
+  ++load_generation_;
+  touched_senders_.clear();
+  touched_receivers_.clear();
   arena_.invalidate();
 }
 
@@ -34,8 +42,20 @@ void CliqueNetwork::send(NodeId from, NodeId to, const Message& msg) {
   if (from < 0 || to < 0 || from >= n_ || to >= n_ || from == to) {
     throw std::invalid_argument("CliqueNetwork: bad endpoints");
   }
-  ++sent_[static_cast<std::size_t>(from)];
-  ++received_[static_cast<std::size_t>(to)];
+  const auto f = static_cast<std::size_t>(from);
+  const auto t = static_cast<std::size_t>(to);
+  if (sent_stamp_[f] != load_generation_) {
+    sent_stamp_[f] = load_generation_;
+    sent_[f] = 0;
+    touched_senders_.push_back(from);
+  }
+  if (recv_stamp_[t] != load_generation_) {
+    recv_stamp_[t] = load_generation_;
+    received_[t] = 0;
+    touched_receivers_.push_back(to);
+  }
+  ++sent_[f];
+  ++received_[t];
   queue_.push_back({from, to, msg});
 }
 
@@ -51,8 +71,9 @@ std::int64_t CliqueNetwork::end_phase() {
     if (mode_ == CliqueRoutingMode::direct) {
       // The arena is sorted by (recipient, sender), so each ordered pair
       // (u,v) is one contiguous run per inbox; the direct-mode cost is the
-      // longest run. Replaces the old per-send unordered_map histogram.
-      for (NodeId v = 0; v < n_; ++v) {
+      // longest run. Only touched recipients can have a non-empty inbox,
+      // so the scan is O(touched + traffic), not O(n).
+      for (const NodeId v : touched_receivers_) {
         const auto in = arena_.inbox(v);
         std::int64_t run = 0;
         for (std::size_t i = 0; i < in.size(); ++i) {
@@ -61,11 +82,14 @@ std::int64_t CliqueNetwork::end_phase() {
         }
       }
     } else {
+      // Untouched slots are stale-stamped zeros: the max over touched
+      // endpoints IS the max over all n.
       std::int64_t max_load = 0;
-      for (NodeId v = 0; v < n_; ++v) {
-        max_load = std::max(
-            {max_load, sent_[static_cast<std::size_t>(v)],
-             received_[static_cast<std::size_t>(v)]});
+      for (const NodeId v : touched_senders_) {
+        max_load = std::max(max_load, sent_[static_cast<std::size_t>(v)]);
+      }
+      for (const NodeId v : touched_receivers_) {
+        max_load = std::max(max_load, received_[static_cast<std::size_t>(v)]);
       }
       // Lenzen routing: ceil(load / (n-1)) full-bandwidth rounds plus a
       // constant for the routing protocol itself.

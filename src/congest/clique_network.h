@@ -65,8 +65,18 @@ class CliqueNetwork {
   bool phase_open_ = false;
   std::uint64_t phase_count_ = 0;
   std::vector<QueuedMessage> queue_;
+  // Per-phase send/receive loads, generation-stamped like the
+  // DeliveryArena's counting passes: begin_phase bumps the generation
+  // instead of O(n)-filling both arrays, a stale stamp reads as load 0,
+  // and end_phase folds loads over the touched endpoint lists only — a
+  // sparse phase costs O(touched), not O(n).
+  std::uint64_t load_generation_ = 0;
+  std::vector<std::uint64_t> sent_stamp_;
+  std::vector<std::uint64_t> recv_stamp_;
   std::vector<std::int64_t> sent_;
   std::vector<std::int64_t> received_;
+  std::vector<NodeId> touched_senders_;
+  std::vector<NodeId> touched_receivers_;
   DeliveryArena arena_;
 };
 

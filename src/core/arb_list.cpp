@@ -389,15 +389,28 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   // ---- Step 5: reshuffle to responsibility holders (Theorem 2.4). --------
   // The paper runs every cluster's reshuffle + in-cluster listing
   // independently (§2.4: clusters route and list in parallel on disjoint
-  // edge sets), so the serial per-cluster loop here was pure simulation
-  // overhead — the tail now shards over *clusters* (ROADMAP lever d).
+  // edge sets). The tail is a two-level scheduler:
+  //
+  //  * Phase A (plan) shards over *clusters* (ROADMAP lever d): routing to
+  //    responsibility holders, the in-cluster plan (partition, fragments,
+  //    representative roster), and EVERY ledger charge — the charges are a
+  //    pure function of the plans, never of how enumeration is sharded.
+  //  * Phase B (enumerate) flattens the plans' representatives into
+  //    (cluster, representative-range) work items weighted by their
+  //    out-degree² estimates and shards those with the proportional
+  //    weighted allocator — so the q=1 one-huge-cluster regime (every ER
+  //    bench input decomposes to a single cluster) still splits across
+  //    threads instead of collapsing onto one.
+  //
   // Determinism contract: per-cluster RNGs are pre-split in cluster order
   // before the region (the parent stream advances exactly as the
   // sequential loop's split() calls did), clusters touch only disjoint
-  // node slots of the read-only step 2b/4 state, and the per-shard
-  // listing buffers / charge accumulators merge in shard (= ascending
-  // cluster) order — every fingerprint is bit-identical at any
-  // DCL_THREADS (tests/test_parallel_for.cpp).
+  // node slots of the read-only step 2b/4 state, work items are a pure
+  // function of the plans (grain independent of thread count), and the
+  // per-shard listing buffers / charge accumulators merge in shard
+  // (= ascending cluster / item) order — every fingerprint is
+  // bit-identical at any DCL_THREADS (tests/test_parallel_for.cpp,
+  // tests/test_single_cluster_sharding.cpp).
   const auto new_id = assign_cluster_ids(deco.clusters, n, *ctx.ledger);
   std::vector<Rng> cluster_rngs = ctx.rng->split_n(deco.clusters.size());
 
@@ -408,8 +421,9 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
     std::int64_t max_learned_edges = 0;
   };
 
-  auto process_cluster = [&](std::size_t ci, ListingOutput& sink,
-                             ClusterTailState& st) {
+  std::vector<InClusterPlan> plans(deco.clusters.size());
+
+  auto prepare_cluster = [&](std::size_t ci, ClusterTailState& st) {
     const Cluster& cluster = deco.clusters[ci];
     const auto k = static_cast<NodeId>(cluster.nodes.size());
     const std::int64_t bandwidth =
@@ -469,7 +483,9 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
         static_cast<std::uint64_t>(range) * static_cast<std::uint64_t>(k) *
             static_cast<std::uint64_t>(k - 1));
 
-    // In-cluster sparsity-aware listing (Section 2.4.3).
+    // In-cluster sparsity-aware listing plan (Section 2.4.3). The plan
+    // carries the exact distribution loads; the enumeration half runs in
+    // Phase B below and cannot change any charge.
     InClusterProblem problem;
     problem.base = &base;
     problem.cluster = &cluster;
@@ -477,7 +493,8 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
     problem.goal_edge = &goal;
     problem.p = cfg.p;
     problem.charge_mode = cfg.in_cluster_charge;
-    const InClusterCost cost = in_cluster_list(problem, cluster_rngs[ci], sink);
+    plans[ci] = in_cluster_plan(problem, cluster_rngs[ci]);
+    const InClusterCost& cost = plans[ci].cost;
     st.distribution.add_cluster(std::max(cost.max_send, cost.max_recv),
                                 bandwidth, cost.messages);
   };
@@ -485,33 +502,43 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   const auto cluster_count =
       static_cast<std::int64_t>(deco.clusters.size());
   ClusterTailState tail;
-  if (std::min<std::int64_t>(shard_threads(), cluster_count) <= 1) {
-    // Sequential fast path: report straight into the global collector, no
-    // buffer merge.
+  // Single-threaded fast path: Phase B is guaranteed sequential (the
+  // weighted allocator caps at shard_threads()), so each cluster can
+  // enumerate inline right after its plan while the fragments are still
+  // cache-hot, and the plan's memory is released before the next cluster
+  // — the PR 5 locality, kept. Only the per-representative estimates
+  // survive, so the work-item accounting below stays a pure function of
+  // the plans and bit-identical to the multi-thread run. Charges are
+  // unaffected: enumeration never touches the ledger, and the commits
+  // below run in the same order either way.
+  const bool inline_tail = shard_threads() <= 1;
+  std::vector<std::vector<std::uint64_t>> rep_ests;
+  if (inline_tail) {
+    rep_ests.resize(deco.clusters.size());
     for (std::size_t ci = 0; ci < deco.clusters.size(); ++ci) {
-      process_cluster(ci, *ctx.out, tail);
+      prepare_cluster(ci, tail);
+      const InClusterPlan plan = std::move(plans[ci]);
+      auto& ests = rep_ests[ci];
+      ests.reserve(plan.reps.size());
+      for (const InClusterPlan::Rep& r : plan.reps) {
+        ests.push_back(r.est_work);
+      }
+      in_cluster_enumerate(plan, 0, plan.reps.size(), *ctx.out);
+    }
+  } else if (std::min<std::int64_t>(shard_threads(), cluster_count) <= 1) {
+    for (std::size_t ci = 0; ci < deco.clusters.size(); ++ci) {
+      prepare_cluster(ci, tail);
     }
   } else {
     // Effective shard count (the same formula parallel_for_shards derives,
-    // grain 1): buffers beyond it would be allocated and merge-walked
-    // without ever receiving a cluster.
+    // grain 1): accumulators beyond it would never receive a cluster.
     const auto buffers = static_cast<std::size_t>(
         std::min<std::int64_t>(shard_threads(), cluster_count));
     std::vector<ClusterTailState> shard_tail(buffers);
-    std::vector<ListingOutput> shard_out;
-    shard_out.reserve(buffers);
-    const double dup_hint = ctx.out->duplication_factor();
-    for (std::size_t s = 0; s < buffers; ++s) {
-      shard_out.emplace_back(n);
-      // Shard buffers start cold; seed their reserve discount with the
-      // duplication factor the global collector has already observed.
-      shard_out.back().set_duplication_hint(dup_hint);
-    }
     parallel_for_shards(
         cluster_count, [&](int shard, std::int64_t lo, std::int64_t hi) {
           for (std::int64_t ci = lo; ci < hi; ++ci) {
-            process_cluster(static_cast<std::size_t>(ci),
-                            shard_out[static_cast<std::size_t>(shard)],
+            prepare_cluster(static_cast<std::size_t>(ci),
                             shard_tail[static_cast<std::size_t>(shard)]);
           }
         });
@@ -521,7 +548,6 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
       tail.distribution.merge_from(shard_tail[s].distribution);
       tail.max_learned_edges =
           std::max(tail.max_learned_edges, shard_tail[s].max_learned_edges);
-      ctx.out->merge_from(shard_out[s]);
     }
   }
   trace.max_learned_edges =
@@ -529,6 +555,104 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   tail.reshuffle.commit(*ctx.ledger, "reshuffle (T2.4)", n);
   tail.partition.commit(*ctx.ledger, "partition-broadcast (T2.4)", n);
   tail.distribution.commit(*ctx.ledger, "edge-distribution (T2.4)", n);
+
+  // ---- Phase B: flattened weighted enumeration. ---------------------------
+  // Every plan's representative list is cut into work items of roughly
+  // est_work_total / kTailTargetItems estimated work each. The item grain
+  // depends only on the plans (never on DCL_THREADS), so the item list is a
+  // pure function of the input; the weighted allocator then assigns the
+  // items to shards proportionally. kTailTargetItems trades balance (more
+  // items = finer allocation) against per-item overhead: 32 items give a
+  // 4-way split 8 items per shard, enough slack for max/mean estimated
+  // work ≤ 1.5 on the single-cluster bench inputs.
+  constexpr std::uint64_t kTailTargetItems = 32;
+  // Below this much total estimated enumeration work the pool dispatch
+  // costs more than the listing; the tail then runs inline (the same
+  // measured rule as the kNodeScanGrain loops).
+  constexpr std::uint64_t kTailEnumGrainWeight = 4096;
+
+  struct TailItem {
+    std::uint32_t cluster = 0;
+    std::uint32_t rep_begin = 0;
+    std::uint32_t rep_end = 0;
+  };
+  // Per-representative estimate accessors: the inline fast path has
+  // already dropped its plans and kept only the estimate lists.
+  const auto rep_count = [&](std::size_t ci) {
+    return inline_tail ? rep_ests[ci].size() : plans[ci].reps.size();
+  };
+  const auto rep_est = [&](std::size_t ci, std::size_t r) {
+    return inline_tail ? rep_ests[ci][r] : plans[ci].reps[r].est_work;
+  };
+  std::uint64_t est_total = 0;
+  for (std::size_t ci = 0; ci < deco.clusters.size(); ++ci) {
+    for (std::size_t r = 0; r < rep_count(ci); ++r) {
+      est_total += rep_est(ci, r);
+    }
+  }
+  const std::uint64_t item_grain =
+      std::max<std::uint64_t>(1, est_total / kTailTargetItems);
+  std::vector<TailItem> items;
+  std::vector<std::uint64_t> item_weight;
+  for (std::size_t ci = 0; ci < deco.clusters.size(); ++ci) {
+    std::uint32_t begin = 0;
+    std::uint64_t acc = 0;
+    for (std::size_t r = 0; r < rep_count(ci); ++r) {
+      acc += rep_est(ci, r);
+      if (acc >= item_grain || r + 1 == rep_count(ci)) {
+        items.push_back(TailItem{static_cast<std::uint32_t>(ci), begin,
+                                 static_cast<std::uint32_t>(r + 1)});
+        item_weight.push_back(acc);
+        begin = static_cast<std::uint32_t>(r + 1);
+        acc = 0;
+      }
+    }
+  }
+  trace.tail_work_items = static_cast<std::int64_t>(items.size());
+  trace.tail_est_work_total = est_total;
+
+  const int tail_shards = weighted_shard_count(
+      est_total, static_cast<std::int64_t>(items.size()),
+      kTailEnumGrainWeight);
+  trace.tail_shards = tail_shards;
+  auto enumerate_item = [&](const TailItem& item, ListingOutput& sink) {
+    in_cluster_enumerate(plans[item.cluster], item.rep_begin, item.rep_end,
+                         sink);
+  };
+  if (inline_tail) {
+    // Already enumerated cluster-by-cluster above; just record the trace.
+    trace.tail_shard_work.assign(1, est_total);
+  } else if (tail_shards <= 1) {
+    // Sequential fast path: report straight into the global collector, no
+    // buffer merge.
+    trace.tail_shard_work.assign(1, est_total);
+    for (const TailItem& item : items) enumerate_item(item, *ctx.out);
+  } else {
+    trace.tail_shard_work.assign(static_cast<std::size_t>(tail_shards), 0);
+    std::vector<ListingOutput> shard_out;
+    shard_out.reserve(static_cast<std::size_t>(tail_shards));
+    const double dup_hint = ctx.out->duplication_factor();
+    for (int s = 0; s < tail_shards; ++s) {
+      shard_out.emplace_back(n);
+      // Shard buffers start cold; seed their reserve discount with the
+      // duplication factor the global collector has already observed.
+      shard_out.back().set_duplication_hint(dup_hint);
+    }
+    parallel_for_weighted_shards(
+        item_weight,
+        [&](int shard, std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            enumerate_item(items[static_cast<std::size_t>(i)],
+                           shard_out[static_cast<std::size_t>(shard)]);
+            trace.tail_shard_work[static_cast<std::size_t>(shard)] +=
+                item_weight[static_cast<std::size_t>(i)];
+          }
+        },
+        kTailEnumGrainWeight);
+    for (int s = 0; s < tail_shards; ++s) {
+      ctx.out->merge_from(shard_out[static_cast<std::size_t>(s)]);
+    }
+  }
 
   // ---- Step 6 (k4_fast): sequential per-cluster C-light probing. ---------
   if (cfg.k4_fast) {

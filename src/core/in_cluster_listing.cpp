@@ -11,46 +11,24 @@
 
 namespace dcl {
 
-namespace {
-
-/// One compiled part-pair bucket: the deduplicated edges whose endpoint
-/// parts are {a, b}, in *compact* node ids, stored as a CSR grouped by the
-/// lower endpoint (offsets are dense over part a's compact range — compact
-/// ids are assigned grouped by part, so for a ≤ b the lower endpoint of
-/// every bucket edge lies in part a's range). Compiled once per cluster
-/// call; every representative covering {a, b} assembles its local graph by
-/// walking these rows — the per-representative O(m log m)
-/// `Graph::from_edges` sort/rebuild of the old scheme becomes a linear
-/// fragment merge (ROADMAP lever c).
-struct Fragment {
-  std::vector<std::uint32_t> off;  ///< lower-part range offsets (+1), or empty
-  std::vector<NodeId> nbr;         ///< higher endpoints, ascending per row
-  std::vector<std::uint8_t> goal;  ///< goal flag, aligned with `nbr`
-  std::int64_t goal_count = 0;
-
-  std::int64_t edge_count() const {
-    return static_cast<std::int64_t>(nbr.size());
-  }
-};
-
-}  // namespace
-
-InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
-                              ListingOutput& out) {
+InClusterPlan in_cluster_plan(const InClusterProblem& problem, Rng& rng) {
   const Graph& base = *problem.base;
   const Cluster& cluster = *problem.cluster;
   const auto& holders = *problem.edges_by_holder;
   const int p = problem.p;
   const auto k = static_cast<NodeId>(cluster.nodes.size());
   if (holders.size() != static_cast<std::size_t>(k)) {
-    throw std::invalid_argument("in_cluster_list: holder count mismatch");
+    throw std::invalid_argument("in_cluster_plan: holder count mismatch");
   }
 
-  InClusterCost cost;
+  InClusterPlan plan;
+  plan.cluster = &cluster;
+  plan.p = p;
   const int q = std::max<int>(
       1, static_cast<int>(floor_pow(static_cast<std::int64_t>(k),
                                     1.0 / static_cast<double>(p))));
-  cost.parts = q;
+  plan.q = q;
+  plan.cost.parts = q;
 
   // Step 1: random partition of the whole vertex set into q parts. (In the
   // distributed execution each cluster node draws the choices for its
@@ -72,7 +50,7 @@ InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
   // Step 3: bucket every known edge by its unordered part pair, tracking
   // exact send loads (holder sends each edge to every covering node). The
   // goal flag is resolved here, once per held edge per cluster — each
-  // representative below reads it for free instead of re-deriving it with
+  // representative reads it for free instead of re-deriving it with
   // base-graph edge_id binary searches (ROADMAP lever b).
   struct HeldEdge {
     KnownEdge e;
@@ -95,33 +73,31 @@ InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
 
   // ---- Step 3.5: compile the buckets into interned fragments. ------------
   //
-  // Compact interning over base ids. thread_local so the O(n) dense map is
-  // NOT re-allocated per cluster call, and safe under the cluster-parallel
-  // caller: each worker thread owns its own buffers. The invariant is
-  // "all `global_to_compact` slots are -1 between uses"; the scope guard
-  // below restores it on every exit path (including exceptions) instead of
-  // relying on the next caller's lazy reset, and shrinks buffers left over
-  // from a much larger earlier base graph so they cannot pin that memory
-  // across differently-sized graphs forever.
+  // Compact interning over base ids. The dense base-id → compact-id map is
+  // thread_local so its O(n) storage is NOT re-allocated per cluster call,
+  // and safe under the cluster-parallel caller: each worker thread owns its
+  // own buffer. The invariant is "all `global_to_compact` slots are -1
+  // between uses"; the scope guard below restores it on every exit path
+  // (including exceptions) by walking the ids interned so far. The compact
+  // id list itself lives in the returned plan — the plan owns all the data
+  // the enumeration half reads, so enumeration may run on other threads.
   static thread_local std::vector<NodeId> global_to_compact;
-  static thread_local std::vector<NodeId> compact_to_global;
   const auto needed = static_cast<std::size_t>(base.node_count());
   if (global_to_compact.size() < needed) {
     global_to_compact.resize(needed, -1);
   } else if (global_to_compact.size() > std::max<std::size_t>(4 * needed,
                                                               4096)) {
-    // All slots are -1 between uses, so a fresh buffer is equivalent.
+    // All slots are -1 between uses, so a fresh buffer is equivalent; drop
+    // storage left over from a much larger earlier base graph.
     std::vector<NodeId>(needed, -1).swap(global_to_compact);
-    compact_to_global.shrink_to_fit();
   }
   struct InternReset {
     std::vector<NodeId>& dense;
-    std::vector<NodeId>& ids;
+    const std::vector<NodeId>& ids;
     ~InternReset() {
       for (const NodeId g : ids) dense[static_cast<std::size_t>(g)] = -1;
-      ids.clear();
     }
-  } intern_reset{global_to_compact, compact_to_global};
+  } intern_reset{global_to_compact, plan.compact_to_global};
 
   // Collect the distinct endpoints of every bucket and order them by
   // (part, global id): each part's nodes then occupy one contiguous
@@ -134,38 +110,39 @@ InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
         NodeId& slot = global_to_compact[static_cast<std::size_t>(g)];
         if (slot < 0) {
           slot = 0;  // seen; the real id is assigned after the sort
-          compact_to_global.push_back(g);
+          plan.compact_to_global.push_back(g);
         }
       }
     }
   }
-  std::sort(compact_to_global.begin(), compact_to_global.end(),
+  std::sort(plan.compact_to_global.begin(), plan.compact_to_global.end(),
             [&](NodeId x, NodeId y) {
               const int px = part[static_cast<std::size_t>(x)];
               const int py = part[static_cast<std::size_t>(y)];
               return px != py ? px < py : x < y;
             });
-  const auto compact_n = static_cast<NodeId>(compact_to_global.size());
+  const auto compact_n = static_cast<NodeId>(plan.compact_to_global.size());
+  plan.compact_n = compact_n;
   for (NodeId c = 0; c < compact_n; ++c) {
     global_to_compact[static_cast<std::size_t>(
-        compact_to_global[static_cast<std::size_t>(c)])] = c;
+        plan.compact_to_global[static_cast<std::size_t>(c)])] = c;
   }
-  std::vector<NodeId> part_begin(static_cast<std::size_t>(q) + 1, 0);
+  plan.part_begin.assign(static_cast<std::size_t>(q) + 1, 0);
   for (NodeId c = 0; c < compact_n; ++c) {
-    ++part_begin[static_cast<std::size_t>(
+    ++plan.part_begin[static_cast<std::size_t>(
         part[static_cast<std::size_t>(
-            compact_to_global[static_cast<std::size_t>(c)])]) + 1];
+            plan.compact_to_global[static_cast<std::size_t>(c)])]) + 1];
   }
   for (int a = 0; a < q; ++a) {
-    part_begin[static_cast<std::size_t>(a) + 1] +=
-        part_begin[static_cast<std::size_t>(a)];
+    plan.part_begin[static_cast<std::size_t>(a) + 1] +=
+        plan.part_begin[static_cast<std::size_t>(a)];
   }
 
   // Compile each non-empty bucket once: sort its compact edge pairs, dedup
   // (goal flags merge by OR — the union of held copies), and lay the rows
   // out as a CSR over the lower part's compact range. This is the only
-  // O(m log m) pass left; every representative below reuses it.
-  std::vector<Fragment> fragment(static_cast<std::size_t>(q * q));
+  // O(m log m) pass left; every representative reuses it.
+  plan.fragments.resize(static_cast<std::size_t>(q * q));
   {
     struct CompactEdge {
       NodeId lo, hi;
@@ -189,9 +166,10 @@ InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
                   [](const CompactEdge& x, const CompactEdge& y) {
                     return x.lo != y.lo ? x.lo < y.lo : x.hi < y.hi;
                   });
-        Fragment& f = fragment[static_cast<std::size_t>(pair_index(a, b, q))];
-        const NodeId lo_begin = part_begin[static_cast<std::size_t>(a)];
-        const NodeId lo_end = part_begin[static_cast<std::size_t>(a) + 1];
+        InClusterPlan::Fragment& f =
+            plan.fragments[static_cast<std::size_t>(pair_index(a, b, q))];
+        const NodeId lo_begin = plan.part_begin[static_cast<std::size_t>(a)];
+        const NodeId lo_end = plan.part_begin[static_cast<std::size_t>(a) + 1];
         f.off.assign(static_cast<std::size_t>(lo_end - lo_begin) + 1, 0);
         f.nbr.reserve(scratch.size());
         f.goal.reserve(scratch.size());
@@ -217,29 +195,25 @@ InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
     }
   }
 
-  // Receive loads, then the per-node listing. Nodes with identical part
-  // multisets receive identical edge sets and would produce identical
+  // Receive loads, then the representative roster. Nodes with identical
+  // part multisets receive identical edge sets and would produce identical
   // outputs, so only the first representative of each multiset enumerates
   // (a pure simulation shortcut: loads are still accounted for every node,
   // and the *union* of outputs — the correctness contract — is unchanged).
   // The representative of a multiset is its minimum cluster index, read
-  // from the sorted flat table.
+  // from the sorted flat table. Representatives that cannot report anything
+  // (too few edges for a Kp, or no goal edge received) are dropped HERE, at
+  // plan time, so the enumeration half's work items are all real work.
   const std::vector<NodeId> rep = representative_table(tuple, q);
   std::vector<std::int64_t> recv_load(static_cast<std::size_t>(k), 0);
-  // Per-representative scratch, reused across representatives: the covered
-  // fragments keyed by their lower part, in ascending higher-part order.
-  std::vector<std::vector<const Fragment*>> lower(static_cast<std::size_t>(q));
-  std::vector<Edge> edges;
-  std::vector<std::uint8_t> edge_goal;
-  EdgeMask local_goal;
+  std::vector<InClusterPlan::FragRef> refs;  // current rep's covered frags
+  std::vector<std::uint32_t> deg;            // row-degree scratch, per part
   for (NodeId j = 0; j < k; ++j) {
     const auto& s = tuple[static_cast<std::size_t>(j)];
     const bool is_rep = rep[static_cast<std::size_t>(j)] == j;
     std::int64_t rep_edges = 0;
     std::int64_t rep_goals = 0;
-    if (is_rep) {
-      for (auto& l : lower) l.clear();
-    }
+    refs.clear();
     for (int a = 0; a < q; ++a) {
       for (int b = a; b < q; ++b) {
         if (!multiset_covers(s, a, b)) continue;
@@ -247,50 +221,127 @@ InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
         recv_load[static_cast<std::size_t>(j)] +=
             static_cast<std::int64_t>(bucket[idx].size());
         if (!is_rep) continue;
-        const Fragment& f = fragment[idx];
+        const InClusterPlan::Fragment& f = plan.fragments[idx];
         if (f.edge_count() == 0) continue;
-        lower[static_cast<std::size_t>(a)].push_back(&f);
+        refs.push_back(
+            InClusterPlan::FragRef{a, static_cast<std::uint32_t>(idx)});
         rep_edges += f.edge_count();
         rep_goals += f.goal_count;
       }
     }
-    // A representative that received no goal edge can skip its enumeration
-    // entirely: nothing it lists could be reported.
     if (!is_rep || rep_edges < p * (p - 1) / 2 || rep_goals == 0) {
       continue;
     }
-    // When *every* received edge is a goal edge (the common dense-goal
-    // case), every listed clique trivially qualifies — no bitmap, no
-    // per-clique checks.
-    const bool all_goal = rep_goals == rep_edges;
-    // Step 4: assemble the local graph by concatenating the covered
-    // fragments. Compact ids ascend part-major, so walking parts in
-    // ascending order and each part's range in ascending id order visits
-    // sources in ascending compact order, and each source's covered rows
-    // (its own part first, then higher parts) concatenate into one
-    // ascending neighbor run — the emitted edge list is lexicographically
-    // sorted by construction and feeds the sort-free Graph factory. Edge
-    // ids equal emission positions, so the goal flags land on local ids
-    // with no lookups at all.
+    // Out-degree² work estimate: for each local-graph source row, the row
+    // degree is the sum of the covered fragments' row lengths (refs with
+    // equal lower_part are consecutive — the (a, b) walk above ascends).
+    // Accumulated fragment-by-fragment into a per-part degree scratch so
+    // each `off` array is read in one sequential pass. 64-bit throughout:
+    // one hub row alone can push the square past 2^32.
+    std::uint64_t est = 0;
+    for (std::size_t i = 0; i < refs.size();) {
+      const int a = refs[i].lower_part;
+      std::size_t fend = i;
+      while (fend < refs.size() && refs[fend].lower_part == a) ++fend;
+      const NodeId lo_begin = plan.part_begin[static_cast<std::size_t>(a)];
+      const NodeId lo_end = plan.part_begin[static_cast<std::size_t>(a) + 1];
+      const auto rows = static_cast<std::size_t>(lo_end - lo_begin);
+      deg.assign(rows, 0);
+      for (std::size_t fi = i; fi < fend; ++fi) {
+        const auto& off = plan.fragments[refs[fi].frag].off;
+        for (std::size_t row = 0; row < rows; ++row) {
+          deg[row] += off[row + 1] - off[row];
+        }
+      }
+      for (std::size_t row = 0; row < rows; ++row) {
+        const auto d = static_cast<std::uint64_t>(deg[row]);
+        est += d * d;
+      }
+      i = fend;
+    }
+    InClusterPlan::Rep r;
+    r.node = j;
+    r.edges = rep_edges;
+    r.all_goal = rep_goals == rep_edges;
+    r.est_work = est;
+    r.frag_begin = static_cast<std::uint32_t>(plan.frag_refs.size());
+    plan.frag_refs.insert(plan.frag_refs.end(), refs.begin(), refs.end());
+    r.frag_end = static_cast<std::uint32_t>(plan.frag_refs.size());
+    plan.est_work_total += est;
+    plan.reps.push_back(r);
+  }
+
+  for (NodeId j = 0; j < k; ++j) {
+    plan.cost.max_send =
+        std::max(plan.cost.max_send, send_load[static_cast<std::size_t>(j)]);
+    plan.cost.max_recv =
+        std::max(plan.cost.max_recv, recv_load[static_cast<std::size_t>(j)]);
+    plan.cost.messages += static_cast<std::uint64_t>(
+        recv_load[static_cast<std::size_t>(j)]);
+  }
+
+  if (problem.charge_mode == InClusterChargeMode::worst_case) {
+    // Oblivious schedule: every node must budget p² slots of (n/q)²
+    // potential pairs regardless of how many edges actually exist.
+    const std::int64_t part_size =
+        ceil_div(static_cast<std::int64_t>(base.node_count()), q);
+    const std::int64_t budget = static_cast<std::int64_t>(p) * p * part_size *
+                                part_size / 2;
+    plan.cost.max_send = std::max(plan.cost.max_send, budget);
+    plan.cost.max_recv = std::max(plan.cost.max_recv, budget);
+  }
+  return plan;
+}
+
+std::uint64_t in_cluster_enumerate(const InClusterPlan& plan,
+                                   std::size_t rep_begin, std::size_t rep_end,
+                                   ListingOutput& out) {
+  const int p = plan.p;
+  std::uint64_t reported = 0;
+  std::vector<Edge> edges;
+  std::vector<std::uint8_t> edge_goal;
+  EdgeMask local_goal;
+  std::vector<NodeId> global(static_cast<std::size_t>(p));
+  std::vector<const InClusterPlan::Fragment*> frags;  // current part's group
+  for (std::size_t r = rep_begin; r < rep_end; ++r) {
+    const InClusterPlan::Rep& rep = plan.reps[r];
+    const bool all_goal = rep.all_goal;
+    // Assemble the local graph by concatenating the covered fragments.
+    // Compact ids ascend part-major, so walking parts in ascending order
+    // and each part's range in ascending id order visits sources in
+    // ascending compact order, and each source's covered rows (its own
+    // part first, then higher parts) concatenate into one ascending
+    // neighbor run — the emitted edge list is lexicographically sorted by
+    // construction and feeds the sort-free Graph factory. Edge ids equal
+    // emission positions, so the goal flags land on local ids with no
+    // lookups at all.
     edges.clear();
-    edges.reserve(static_cast<std::size_t>(rep_edges));
+    edges.reserve(static_cast<std::size_t>(rep.edges));
     edge_goal.clear();
-    for (int a = 0; a < q; ++a) {
-      const auto& frags = lower[static_cast<std::size_t>(a)];
-      if (frags.empty()) continue;
-      const NodeId lo_begin = part_begin[static_cast<std::size_t>(a)];
-      const NodeId lo_end = part_begin[static_cast<std::size_t>(a) + 1];
+    for (std::uint32_t i = rep.frag_begin; i < rep.frag_end;) {
+      const int a = plan.frag_refs[i].lower_part;
+      std::uint32_t fend = i;
+      while (fend < rep.frag_end && plan.frag_refs[fend].lower_part == a) {
+        ++fend;
+      }
+      const NodeId lo_begin = plan.part_begin[static_cast<std::size_t>(a)];
+      const NodeId lo_end = plan.part_begin[static_cast<std::size_t>(a) + 1];
+      frags.clear();
+      for (std::uint32_t fi = i; fi < fend; ++fi) {
+        frags.push_back(&plan.fragments[plan.frag_refs[fi].frag]);
+      }
       for (NodeId u = lo_begin; u < lo_end; ++u) {
         const auto row = static_cast<std::size_t>(u - lo_begin);
-        for (const Fragment* f : frags) {
+        for (const InClusterPlan::Fragment* f : frags) {
           const std::uint32_t rb = f->off[row];
           const std::uint32_t re = f->off[row + 1];
-          for (std::uint32_t i = rb; i < re; ++i) {
-            edges.push_back(Edge{u, f->nbr[i]});
-            if (!all_goal) edge_goal.push_back(f->goal[i]);
+          for (std::uint32_t x = rb; x < re; ++x) {
+            edges.push_back(Edge{u, f->nbr[x]});
+            if (!all_goal) edge_goal.push_back(f->goal[x]);
           }
         }
       }
+      i = fend;
     }
     if (!all_goal) {
       local_goal.assign(static_cast<EdgeId>(edges.size()), false);
@@ -299,13 +350,12 @@ InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
       }
     }
     const Graph local =
-        Graph::from_sorted_edges(compact_n, std::move(edges));
+        Graph::from_sorted_edges(plan.compact_n, std::move(edges));
     edges = {};  // moved-from; reset for the next representative
     const auto cliques = list_k_cliques(local, p);
     // Reserve hint: the dedup table absorbs this enumeration without a
     // growth rehash (duplication-discounted inside reserve_additional).
     out.reserve_additional(cliques.size());
-    std::vector<NodeId> global(static_cast<std::size_t>(p));
     for (const auto& c : cliques) {
       // Report only cliques containing at least one goal edge of C — the
       // task assigned to this cluster (others are other iterations' work).
@@ -318,32 +368,21 @@ InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
       }
       if (!has_goal) continue;
       for (std::size_t i = 0; i < c.size(); ++i) {
-        global[i] = compact_to_global[static_cast<std::size_t>(c[i])];
+        global[i] = plan.compact_to_global[static_cast<std::size_t>(c[i])];
       }
-      out.report(cluster.nodes[static_cast<std::size_t>(j)], global);
-      ++cost.cliques_reported;
+      out.report(plan.cluster->nodes[static_cast<std::size_t>(rep.node)],
+                 global);
+      ++reported;
     }
   }
+  return reported;
+}
 
-  for (NodeId j = 0; j < k; ++j) {
-    cost.max_send =
-        std::max(cost.max_send, send_load[static_cast<std::size_t>(j)]);
-    cost.max_recv =
-        std::max(cost.max_recv, recv_load[static_cast<std::size_t>(j)]);
-    cost.messages += static_cast<std::uint64_t>(
-        recv_load[static_cast<std::size_t>(j)]);
-  }
-
-  if (problem.charge_mode == InClusterChargeMode::worst_case) {
-    // Oblivious schedule: every node must budget p² slots of (n/q)²
-    // potential pairs regardless of how many edges actually exist.
-    const std::int64_t part_size =
-        ceil_div(static_cast<std::int64_t>(base.node_count()), q);
-    const std::int64_t budget = static_cast<std::int64_t>(p) * p * part_size *
-                                part_size / 2;
-    cost.max_send = std::max(cost.max_send, budget);
-    cost.max_recv = std::max(cost.max_recv, budget);
-  }
+InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
+                              ListingOutput& out) {
+  const InClusterPlan plan = in_cluster_plan(problem, rng);
+  InClusterCost cost = plan.cost;
+  cost.cliques_reported = in_cluster_enumerate(plan, 0, plan.reps.size(), out);
   return cost;
 }
 

@@ -23,15 +23,17 @@
 // the oblivious O(p² (n/q)²) potential-pair budget that a non-sparsity-
 // aware algorithm must schedule for (ablation E7b).
 //
-// Execution note (docs/PERFORMANCE.md "Cluster-parallel listing"): step 4
-// compiles each part-pair bucket once into an interned CSR fragment and
-// assembles every representative's local graph by a linear fragment merge
-// (identical-multiset representatives still enumerate once). The routine
-// is safe to call concurrently for DISTINCT clusters from worker threads —
-// its only shared state is per-thread (thread_local interning buffers) —
-// which is exactly how arb_list's sharded per-cluster tail drives it; the
-// caller supplies a pre-split per-cluster Rng so results never depend on
-// scheduling.
+// Execution note (docs/PERFORMANCE.md "Cluster-parallel listing"): the
+// routine is split into a *plan* half (steps 1-3.5: partition, buckets,
+// interned CSR fragments, representative roster, and ALL load accounting)
+// and an *enumerate* half (step 4: per-representative local-graph assembly
+// and listing), so arb_list can shard the enumeration *inside* a cluster by
+// representative ranges without touching the ledger — the charges are a
+// pure function of the plan. `in_cluster_plan` is safe to call concurrently
+// for DISTINCT clusters (its only shared state is a thread_local interning
+// buffer); `in_cluster_enumerate` is read-only on the plan and safe for
+// concurrent disjoint ranges of the SAME plan. The caller supplies a
+// pre-split per-cluster Rng so results never depend on scheduling.
 #pragma once
 
 #include <cstdint>
@@ -75,8 +77,91 @@ struct InClusterCost {
   std::uint64_t cliques_reported = 0;
 };
 
-/// Runs the listing step; reports cliques into `out` (reporter = the global
-/// id of the cluster node that lists the clique) and returns the loads.
+/// The compiled, enumeration-ready form of one cluster's listing problem —
+/// the plan half of the plan/enumerate split. Holds everything steps 1-3.5
+/// produce (partition, interned compact ids, part-pair CSR fragments, the
+/// surviving representatives with their per-representative work estimates)
+/// plus the full load accounting, which is a pure function of the plan: the
+/// ledger charges never depend on how the enumeration half is sharded.
+///
+/// The plan owns all of its data (no thread_local leakage), so
+/// `in_cluster_enumerate` may run on any thread, at any later time, and
+/// concurrently for disjoint representative ranges of the SAME plan — the
+/// enumeration half only reads it.
+struct InClusterPlan {
+  /// One compiled part-pair bucket: the deduplicated edges whose endpoint
+  /// parts are {a, b}, in compact node ids, stored as a CSR grouped by the
+  /// lower endpoint (rows are dense over part a's compact range). Compiled
+  /// once; every representative covering {a, b} assembles its local graph
+  /// by walking these rows.
+  struct Fragment {
+    std::vector<std::uint32_t> off;  ///< lower-part-range row offsets (+1)
+    std::vector<NodeId> nbr;         ///< higher endpoints, ascending per row
+    std::vector<std::uint8_t> goal;  ///< goal flag, aligned with `nbr`
+    std::int64_t goal_count = 0;
+
+    std::int64_t edge_count() const {
+      return static_cast<std::int64_t>(nbr.size());
+    }
+  };
+
+  /// A covered fragment of one representative, in ascending (a, b) part
+  /// order — the order the local-graph assembly concatenates rows in.
+  struct FragRef {
+    int lower_part = 0;
+    std::uint32_t frag = 0;  ///< index into `fragments`
+  };
+
+  /// One representative that survived the skip filters (enough edges for a
+  /// Kp, at least one goal edge). Representatives below the thresholds are
+  /// excluded at plan time — they cannot report anything.
+  struct Rep {
+    NodeId node = -1;        ///< cluster-local index of the representative
+    std::int64_t edges = 0;  ///< local-graph edge count (fragments summed)
+    bool all_goal = false;   ///< every received edge is a goal edge
+    /// Out-degree² estimate of the representative's enumeration cost:
+    /// Σ over local-graph sources u of (deg⁺(u))², accumulated in 64 bits —
+    /// a single 70 000-degree hub already overflows 32 (70 000² ≈ 4.9e9).
+    std::uint64_t est_work = 0;
+    std::uint32_t frag_begin = 0;  ///< range into `frag_refs`
+    std::uint32_t frag_end = 0;
+  };
+
+  const Cluster* cluster = nullptr;  ///< for reporter ids (global node ids)
+  int p = 4;
+  int q = 1;
+  NodeId compact_n = 0;
+  /// Loads + parts; `cliques_reported` stays 0 here (it is an enumeration
+  /// output, accumulated by the `in_cluster_enumerate` return values).
+  InClusterCost cost;
+  std::vector<NodeId> compact_to_global;
+  std::vector<NodeId> part_begin;  ///< compact range of each part, q+1 fences
+  std::vector<Fragment> fragments;
+  std::vector<FragRef> frag_refs;
+  std::vector<Rep> reps;
+  std::uint64_t est_work_total = 0;  ///< Σ reps[i].est_work
+};
+
+/// Steps 1-3.5: partition, bucket, compile fragments, pick representatives,
+/// and account every load the routing would charge. Pure with respect to
+/// `rng` (one plan per cluster per pre-split Rng); safe to call concurrently
+/// for DISTINCT clusters.
+InClusterPlan in_cluster_plan(const InClusterProblem& problem, Rng& rng);
+
+/// Step 4 for the representative range [rep_begin, rep_end): assembles each
+/// representative's local graph from the plan's fragments, lists its Kp
+/// instances, and reports the goal-containing ones into `out` (reporter =
+/// the global id of the representative's cluster node). Returns the number
+/// of cliques reported. Read-only on `plan`: concurrent calls over disjoint
+/// ranges of the same plan are safe, and a representative's output does not
+/// depend on which range contains it — any partition of [0, reps.size())
+/// yields the same union of reports.
+std::uint64_t in_cluster_enumerate(const InClusterPlan& plan,
+                                   std::size_t rep_begin, std::size_t rep_end,
+                                   ListingOutput& out);
+
+/// Plan + enumerate everything: reports cliques into `out` and returns the
+/// loads. The one-call form used by tests and single-cluster callers.
 InClusterCost in_cluster_list(const InClusterProblem& problem, Rng& rng,
                               ListingOutput& out);
 

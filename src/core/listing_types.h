@@ -201,6 +201,16 @@ struct ArbIterationTrace {
   std::int64_t clusters = 0;
   std::int64_t heavy_relationships = 0;  ///< (node, cluster) heavy pairs
   std::int64_t max_learned_edges = 0;    ///< Remark 2.10 quantity
+  /// Step-5 tail scheduler diagnostics (the two-level work plan): the
+  /// flattened (cluster, representative-range) items, the shard count the
+  /// weighted allocator derived, the estimated work each shard received,
+  /// and the total estimate — the bench container has one CPU, so balance
+  /// of these estimates (max/mean across shards) IS the parallelism
+  /// evidence, not wall-clock (ROADMAP "standing constraints").
+  std::int64_t tail_work_items = 0;
+  std::int64_t tail_shards = 0;
+  std::vector<std::uint64_t> tail_shard_work;
+  std::uint64_t tail_est_work_total = 0;
   double rounds = 0.0;
 };
 

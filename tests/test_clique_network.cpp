@@ -179,5 +179,58 @@ TEST(CliqueNetwork, InboxSortedBySender) {
   EXPECT_EQ(inbox[2].from, 4);
 }
 
+/// Regression for the per-phase O(n) sent/received zero-fill: begin_phase
+/// now bumps a generation stamp instead, and end_phase folds loads over
+/// the touched endpoints only — so a long sequence of sparse phases must
+/// charge exactly what the same phases cost on a fresh network each time
+/// (no load may leak across phases, in either accounting mode).
+TEST(CliqueNetwork, SparsePhaseSequenceChargesLikeFreshNetworks) {
+  const NodeId n = 64;
+  for (const CliqueRoutingMode mode :
+       {CliqueRoutingMode::lenzen, CliqueRoutingMode::direct}) {
+    Rng gen(mode == CliqueRoutingMode::lenzen ? 17u : 18u);
+    CliqueNetwork net(n, mode);
+    double expected_rounds = 0.0;
+    std::uint64_t expected_msgs = 0;
+    for (int phase = 0; phase < 60; ++phase) {
+      CliqueNetwork fresh(n, mode);
+      net.begin_phase("sparse");
+      fresh.begin_phase("sparse");
+      if (phase % 10 == 9) {
+        // Occasional dense burst so sparse phases run right after a phase
+        // that stamped every endpoint.
+        for (NodeId v = 0; v < n; ++v) {
+          const auto to = static_cast<NodeId>((v + 1) % n);
+          for (int i = 0; i <= phase % 5; ++i) {
+            net.send(v, to, Message{.tag = phase});
+            fresh.send(v, to, Message{.tag = phase});
+            ++expected_msgs;
+          }
+        }
+      } else {
+        const int sends = 1 + phase % 4;
+        for (int i = 0; i < sends; ++i) {
+          const auto from = static_cast<NodeId>(
+              gen.next_below(static_cast<std::uint64_t>(n)));
+          auto to = static_cast<NodeId>(
+              gen.next_below(static_cast<std::uint64_t>(n)));
+          if (to == from) to = static_cast<NodeId>((to + 1) % n);
+          net.send(from, to, Message{.tag = i});
+          fresh.send(from, to, Message{.tag = i});
+          ++expected_msgs;
+        }
+      }
+      const auto fresh_rounds = fresh.end_phase();
+      EXPECT_EQ(net.end_phase(), fresh_rounds)
+          << "phase " << phase << " mode "
+          << (mode == CliqueRoutingMode::lenzen ? "lenzen" : "direct");
+      expected_rounds += static_cast<double>(fresh_rounds);
+    }
+    EXPECT_DOUBLE_EQ(net.ledger().total_rounds(), expected_rounds);
+    EXPECT_EQ(net.ledger().total_messages(), expected_msgs);
+    EXPECT_EQ(net.phase_count(), 60u);
+  }
+}
+
 }  // namespace
 }  // namespace dcl

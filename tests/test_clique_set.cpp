@@ -10,6 +10,7 @@
 #include <bit>
 #include <cstdint>
 #include <set>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -312,6 +313,46 @@ TEST(CliqueSetPacked, ChurnDifferentialAgainstUnorderedSetOracle) {
   EXPECT_EQ(set.size(), 0u);
   EXPECT_EQ(set.fingerprint(), 0u);
   EXPECT_TRUE(set.to_vector().empty());
+}
+
+TEST(CliqueSetPacked, RobinHoodBoundsDisplacementUnderBulkInserts) {
+  // Robin-hood placement bounds probe distances no matter the insert
+  // order. Plain linear probing degenerates under hash-ordered inserts
+  // (exactly what shard-buffer merges produce: for_each_span walks the
+  // source table in slot ≈ hash order — the measured 60x trap); with the
+  // displacement-bounded insert the maximum probe distance at the 0.7 load
+  // ceiling stays small. 24 is loose for robin hood at this load (expected
+  // max displacement is O(log n)) yet far below the hundreds-long chains
+  // the trap produced.
+  Rng rng(23);
+  CliqueSet random_order;
+  std::vector<Clique> cliques;
+  for (int i = 0; i < 40000; ++i) {
+    cliques.push_back(random_clique(rng, 4, 1 << 20));
+  }
+  for (const Clique& c : cliques) random_order.insert(c);
+  EXPECT_LE(random_order.max_displacement(), 24u);
+
+  // Adversarial order: replay the same cliques sorted by the slot they
+  // occupy in the finished table (= hash order), the merge-path pattern.
+  std::vector<Clique> slot_order;
+  slot_order.reserve(cliques.size());
+  random_order.for_each_span([&](std::span<const NodeId> c) {
+    slot_order.emplace_back(c.begin(), c.end());
+  });
+  CliqueSet merged;
+  merged.reserve(slot_order.size());
+  for (const Clique& c : slot_order) merged.insert(c);
+  EXPECT_EQ(merged.size(), random_order.size());
+  EXPECT_EQ(merged.fingerprint(), random_order.fingerprint());
+  EXPECT_LE(merged.max_displacement(), 24u);
+
+  // And hash-ordered inserts into a GROWING table (no reserve) — the
+  // original trap's exact shape.
+  CliqueSet growing;
+  for (const Clique& c : slot_order) growing.insert(c);
+  EXPECT_EQ(growing.fingerprint(), random_order.fingerprint());
+  EXPECT_LE(growing.max_displacement(), 24u);
 }
 
 }  // namespace

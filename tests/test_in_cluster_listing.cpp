@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "enumeration/clique_enumeration.h"
 #include "graph/generators.h"
 #include "graph/orientation.h"
@@ -218,6 +220,90 @@ TEST(InClusterListing, DuplicateHeldEdgesDoNotChangeTheListing) {
   in_cluster_list(doubled.problem(4), rng_b, out_b);
   EXPECT_TRUE(out_a.cliques() == out_b.cliques());
   EXPECT_TRUE(out_a.cliques() == CliqueSet(list_k_cliques(clean.g, 4)));
+}
+
+TEST(InClusterPlanEnumerate, SplitRangesReproduceTheFullListing) {
+  // The plan/enumerate contract: any partition of [0, reps.size()) into
+  // ranges yields the same union of reports as the one-call wrapper.
+  Rng gen(12);
+  Scenario s(erdos_renyi_gnm(64, 600, gen));
+  Rng rng_a(13), rng_b(13);
+  ListingOutput whole(s.g.node_count());
+  const auto cost = in_cluster_list(s.problem(4), rng_a, whole);
+
+  const InClusterPlan plan = in_cluster_plan(s.problem(4), rng_b);
+  EXPECT_EQ(plan.cost.max_send, cost.max_send);
+  EXPECT_EQ(plan.cost.max_recv, cost.max_recv);
+  EXPECT_EQ(plan.cost.messages, cost.messages);
+  EXPECT_EQ(plan.cost.parts, cost.parts);
+  ASSERT_GE(plan.reps.size(), 2u) << "scenario too small to split";
+  ListingOutput split(s.g.node_count());
+  std::uint64_t reported = 0;
+  const std::size_t mid = plan.reps.size() / 2;
+  reported += in_cluster_enumerate(plan, 0, mid, split);
+  reported += in_cluster_enumerate(plan, mid, plan.reps.size(), split);
+  EXPECT_EQ(reported, cost.cliques_reported);
+  EXPECT_TRUE(split.cliques() == whole.cliques());
+  EXPECT_EQ(split.total_reports(), whole.total_reports());
+}
+
+TEST(InClusterPlanEnumerate, EstimatesAccumulateIn64Bits) {
+  // Synthetic star cluster: a 70 000-leaf hub forced into a single part
+  // (k = 5 < 2^p, so q = 1) gives ONE representative whose local graph has
+  // a single 70 000-entry row — its out-degree² estimate is 4.9e9, past
+  // anything a 32-bit accumulator can hold. A wrapped estimate would show
+  // up here as est_work != 70 000².
+  constexpr NodeId kLeaves = 70000;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(kLeaves));
+  for (NodeId v = 1; v <= kLeaves; ++v) edges.push_back(Edge{0, v});
+  Graph star = Graph::from_edges(kLeaves + 1, std::move(edges));
+
+  Cluster cluster;
+  cluster.id = 0;
+  for (NodeId v = 0; v < 5; ++v) cluster.nodes.push_back(v);
+  cluster.min_internal_degree = 1;
+  std::vector<std::vector<KnownEdge>> holders(5);
+  for (EdgeId e = 0; e < star.edge_count(); ++e) {
+    const Edge& ed = star.edge(e);
+    const NodeId idx =
+        responsible_cluster_index(ed.u, star.node_count(), 5);
+    holders[static_cast<std::size_t>(idx)].push_back(KnownEdge{ed.u, ed.v});
+  }
+  EdgeMask goal;
+  goal.assign(star.edge_count(), true);
+
+  InClusterProblem pr;
+  pr.base = &star;
+  pr.cluster = &cluster;
+  pr.edges_by_holder = &holders;
+  pr.goal_edge = &goal;
+  pr.p = 4;
+
+  Rng rng(14);
+  const InClusterPlan plan = in_cluster_plan(pr, rng);
+  EXPECT_EQ(plan.q, 1);
+  ASSERT_EQ(plan.reps.size(), 1u);
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kLeaves) * static_cast<std::uint64_t>(kLeaves);
+  EXPECT_EQ(plan.reps[0].est_work, expected);
+  EXPECT_EQ(plan.est_work_total, expected);
+  EXPECT_GT(plan.est_work_total,
+            std::uint64_t{std::numeric_limits<std::uint32_t>::max()});
+  // A star has no K4: the (cheap) enumeration must report nothing.
+  ListingOutput out(star.node_count());
+  EXPECT_EQ(in_cluster_enumerate(plan, 0, plan.reps.size(), out), 0u);
+}
+
+TEST(InClusterPlanEnumerate, RepsBelowThresholdsAreDroppedAtPlanTime) {
+  // No goal edges → every representative is dropped: the enumeration half
+  // has literally nothing to do.
+  Scenario s(complete_graph(6));
+  s.goal.fill(false);
+  Rng rng(15);
+  const InClusterPlan plan = in_cluster_plan(s.problem(3), rng);
+  EXPECT_TRUE(plan.reps.empty());
+  EXPECT_EQ(plan.est_work_total, 0u);
 }
 
 TEST(InClusterListing, HolderCountMismatchThrows) {

@@ -183,5 +183,90 @@ TEST(DeterminismUnderThreads, SparseCcFingerprintsAreBitIdentical) {
   EXPECT_TRUE(out_seq.cliques() == out_par.cliques());
 }
 
+// ---- Weighted-item sharding -------------------------------------------------
+
+TEST(WeightedShards, BoundsAreContiguousCoverEveryItemAndAreDeterministic) {
+  const std::vector<std::uint64_t> weights = {5, 1, 1, 1, 8, 2, 2, 4};
+  const auto bounds = weighted_shard_bounds(weights, 3);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_EQ(bounds.front(), 0);
+  EXPECT_EQ(bounds.back(), static_cast<std::int64_t>(weights.size()));
+  for (std::size_t s = 1; s < bounds.size(); ++s) {
+    EXPECT_LE(bounds[s - 1], bounds[s]);
+  }
+  // Pure function of (weights, shards): a second call is identical.
+  EXPECT_EQ(weighted_shard_bounds(weights, 3), bounds);
+}
+
+TEST(WeightedShards, FloorThenTopUpQuotasBalanceSkewedWeights) {
+  // One dominant item plus a tail of small ones: the allocator must not
+  // hand the dominant shard any of the tail beyond its quota.
+  std::vector<std::uint64_t> weights = {100};
+  for (int i = 0; i < 100; ++i) weights.push_back(1);
+  const int shards = 4;
+  const auto bounds = weighted_shard_bounds(weights, shards);
+  const std::uint64_t total = weighted_total(weights);  // 200
+  double max_work = 0;
+  for (int s = 0; s < shards; ++s) {
+    std::uint64_t w = 0;
+    for (std::int64_t i = bounds[static_cast<std::size_t>(s)];
+         i < bounds[static_cast<std::size_t>(s) + 1]; ++i) {
+      w += weights[static_cast<std::size_t>(i)];
+    }
+    max_work = std::max(max_work, static_cast<double>(w));
+  }
+  const double mean = static_cast<double>(total) / shards;
+  // The indivisible 100-unit item caps achievable balance at 2x mean; the
+  // tail must split at quota boundaries, keeping every other shard ≤ mean+1.
+  EXPECT_LE(max_work, 2.0 * mean + 1.0);
+}
+
+TEST(WeightedShards, WeightArithmeticIs64BitEndToEnd) {
+  // Four items of 2^31 each: a 32-bit accumulator would wrap to 0 total
+  // and collapse every boundary. 64-bit sums split them two-and-two.
+  const std::uint64_t big = std::uint64_t{1} << 31;
+  const std::vector<std::uint64_t> weights = {big, big, big, big};
+  EXPECT_EQ(weighted_total(weights), std::uint64_t{1} << 33);
+  const auto bounds = weighted_shard_bounds(weights, 2);
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_EQ(bounds[1], 2);
+  EXPECT_EQ(bounds[2], 4);
+}
+
+TEST(WeightedShards, MinGrainForcesSequentialFastPath) {
+  ScopedShardThreads guard(4);
+  // Total estimated work (10) below the grain: exactly one inline body
+  // invocation covering every item, shard index 0.
+  const std::vector<std::uint64_t> weights = {4, 3, 2, 1};
+  int invocations = 0;
+  parallel_for_weighted_shards(
+      weights,
+      [&](int shard, std::int64_t lo, std::int64_t hi) {
+        ++invocations;
+        EXPECT_EQ(shard, 0);
+        EXPECT_EQ(lo, 0);
+        EXPECT_EQ(hi, 4);
+      },
+      /*min_grain_weight=*/1000);
+  EXPECT_EQ(invocations, 1);
+  EXPECT_EQ(weighted_shard_count(10, 4, 1000), 1);
+}
+
+TEST(WeightedShards, EveryItemRunsExactlyOnceUnderParallelExecution) {
+  ScopedShardThreads guard(4);
+  std::vector<std::uint64_t> weights(64);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1 + (i * 7) % 13;
+  }
+  std::vector<std::atomic<int>> hits(weights.size());
+  parallel_for_weighted_shards(
+      weights, [&](int shard, std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          hits[static_cast<std::size_t>(i)].fetch_add(1);
+        }
+      });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 }  // namespace
 }  // namespace dcl
