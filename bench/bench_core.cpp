@@ -16,6 +16,7 @@
 #include "congest/clique_network.h"
 #include "congest/congest_network.h"
 #include "congest/engine.h"
+#include "congest/fault_plan.h"
 #include "core/kp_lister.h"
 #include "dynamic/dynamic_lister.h"
 #include "enumeration/clique_enumeration.h"
@@ -193,6 +194,72 @@ double fold_fingerprint(std::uint64_t fp) {
   return static_cast<double>((fp ^ (fp >> 32)) & 0xffffffffULL);
 }
 
+/// Fault-plane A/B: the same fixed-seed list_kp run with cfg.faults left
+/// null (A) and with an *inert* FaultPlan attached (B). The two entries are
+/// measured back to back on the identical input (re-run either alone via
+/// DCL_BENCH_FILTER=list_kp_faultoff for a tighter interleave); their
+/// counters — ledger totals, clique counts, folded clique fingerprints, and
+/// the explicit ab_*_equal flags — are committed to BENCH_core.json, so CI
+/// enforces bit-identical cost models and the ns_per_op gap measures what
+/// the disabled hooks cost (expected: nothing).
+void fault_plane_ab_benchmark(BenchReport& report) {
+  Rng rng(16);
+  const Graph g = erdos_renyi_gnm(140, 3200, rng);
+  KpConfig cfg_a;
+  cfg_a.p = 4;
+  cfg_a.seed = 7;
+  cfg_a.stop_scale = 0.1;
+  FaultPlan inert;  // default spec: enabled() == false, every hook dormant
+  KpConfig cfg_b = cfg_a;
+  cfg_b.faults = &inert;
+
+  ListingOutput out_a(g.node_count());
+  const KpListResult ref_a = list_kp_collect(g, cfg_a, out_a);
+  ListingOutput out_b(g.node_count());
+  const KpListResult ref_b = list_kp_collect(g, cfg_b, out_b);
+  const bool ledgers_equal = [&] {
+    const auto& ea = ref_a.ledger.entries();
+    const auto& eb = ref_b.ledger.entries();
+    if (ea.size() != eb.size()) return false;
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      if (ea[i].label != eb[i].label || ea[i].rounds != eb[i].rounds ||
+          ea[i].messages != eb[i].messages) {
+        return false;
+      }
+    }
+    return true;
+  }();
+  const bool fingerprints_equal =
+      out_a.cliques().fingerprint() == out_b.cliques().fingerprint();
+
+  {
+    auto& t = report.add(time_kernel(
+        "list_kp_faultoff_a/p=4/er_n140_m3200",
+        [&] { return list_kp(g, cfg_a).total_reports; },
+        static_cast<double>(ref_a.unique_cliques)));
+    t.counters.emplace_back("ledger_total_rounds", ref_a.total_rounds());
+    t.counters.emplace_back("unique_cliques",
+                            static_cast<double>(ref_a.unique_cliques));
+    t.counters.emplace_back("fingerprint_fold32",
+                            fold_fingerprint(out_a.cliques().fingerprint()));
+  }
+  {
+    auto& t = report.add(time_kernel(
+        "list_kp_faultoff_b/p=4/er_n140_m3200",
+        [&] { return list_kp(g, cfg_b).total_reports; },
+        static_cast<double>(ref_b.unique_cliques)));
+    t.counters.emplace_back("ledger_total_rounds", ref_b.total_rounds());
+    t.counters.emplace_back("unique_cliques",
+                            static_cast<double>(ref_b.unique_cliques));
+    t.counters.emplace_back("fingerprint_fold32",
+                            fold_fingerprint(out_b.cliques().fingerprint()));
+    t.counters.emplace_back("retry_rounds", ref_b.ledger.retry_rounds());
+    t.counters.emplace_back("ab_ledgers_equal", ledgers_equal ? 1.0 : 0.0);
+    t.counters.emplace_back("ab_fingerprints_equal",
+                            fingerprints_equal ? 1.0 : 0.0);
+  }
+}
+
 /// Batch-dynamic maintenance vs from-scratch recompute on the identical
 /// update stream — the amortization claim of docs/PERFORMANCE.md, plus
 /// fixed-seed delta fingerprints (clique totals, CliqueSet fingerprint,
@@ -336,6 +403,7 @@ int run(const char* out_path) {
   const Graph q1_input = erdos_renyi_gnm(2000, 30000, q1_rng);
   list_kp_benchmark(report, "er1c_n2000_m30000", q1_input, 4, 0.01);
 
+  fault_plane_ab_benchmark(report);
   simulator_benchmarks(report);
   dynamic_benchmarks(report);
 

@@ -50,9 +50,47 @@ std::int64_t CongestNetwork::end_phase() {
     edge_load_[slot] = 0;  // restore the all-zero invariant for next phase
   }
   touched_slots_.clear();
-  arena_.deliver(queue_);
+  // Base charge first: the fault-free communication pattern was executed
+  // either way, so this entry stays bit-identical to a fault-free run.
   ledger_.charge_exchange(phase_label_, static_cast<double>(rounds),
                           queue_.size());
+  if (faults_ != nullptr && (faults_->enabled() || faults_->replaying())) {
+    // Run the ack/retransmit protocol per queued message. Recoverable
+    // outcomes keep the message in the inbox (dups are filtered by the
+    // receiver's sequence numbers, delays are waited out inside the phase
+    // barrier); only budget-exhausted losses are withheld.
+    std::int64_t retry_rounds = 0;
+    std::uint64_t retransmitted = 0;
+    std::uint64_t lost = 0;
+    surviving_.clear();
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      const QueuedMessage& qm = queue_[i];
+      const FaultPlan::MessageOutcome o = faults_->recover(
+          fault_clock_, FaultPlan::edge_key(qm.from, qm.to),
+          static_cast<std::uint64_t>(i));
+      retry_rounds = std::max(retry_rounds, o.extra_rounds);
+      retransmitted += static_cast<std::uint64_t>(o.retransmissions) +
+                       static_cast<std::uint64_t>(o.duplicates);
+      if (o.lost) {
+        ++lost;
+      } else {
+        surviving_.push_back(qm);
+      }
+    }
+    ++fault_clock_;
+    if (retry_rounds > 0 || retransmitted > 0) {
+      ledger_.charge_retry(phase_label_ + " [retry]",
+                           static_cast<double>(retry_rounds), retransmitted);
+    }
+    if (lost > 0) {
+      lost_messages_ += lost;
+      ledger_.note_lost(lost);
+    }
+    arena_.deliver(surviving_);
+    rounds += retry_rounds;
+  } else {
+    arena_.deliver(queue_);
+  }
   queue_.clear();
   return rounds;
 }

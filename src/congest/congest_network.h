@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "congest/delivery_arena.h"
+#include "congest/fault_plan.h"
 #include "congest/message.h"
 #include "congest/round_ledger.h"
 #include "graph/graph.h"
@@ -58,6 +59,21 @@ class CongestNetwork {
 
   std::uint64_t phase_count() const { return phase_count_; }
 
+  /// Attaches a fault plan: from the next phase on, every queued message
+  /// runs the ack/retransmit recovery protocol in end_phase(). Recoverable
+  /// faults leave the inboxes bit-identical (duplicates are discarded by
+  /// the sequence filter, delays are waited out, drops are retransmitted)
+  /// while their cost lands in the ledger retry counters; messages lost
+  /// beyond the retry budget are withheld from the inbox and counted.
+  /// `plan == nullptr` detaches.
+  void attach_faults(FaultPlan* plan) { faults_ = plan; }
+  FaultPlan* faults() const { return faults_; }
+
+  /// Messages permanently lost (retry budget exhausted) since construction.
+  std::uint64_t lost_messages() const { return lost_messages_; }
+  /// Logical fault clock: the number of faulted phases completed.
+  std::int64_t fault_clock() const { return fault_clock_; }
+
  private:
   const Graph* g_;
   RoundLedger ledger_;
@@ -73,6 +89,10 @@ class CongestNetwork {
   std::vector<std::int64_t> edge_load_;
   std::vector<std::size_t> touched_slots_;
   DeliveryArena arena_;
+  FaultPlan* faults_ = nullptr;
+  std::int64_t fault_clock_ = 0;
+  std::uint64_t lost_messages_ = 0;
+  std::vector<QueuedMessage> surviving_;  ///< scratch for faulted phases
 };
 
 }  // namespace dcl

@@ -12,13 +12,27 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
+#include "congest/fault_plan.h"
 #include "congest/message.h"
 #include "congest/round_ledger.h"
 #include "graph/graph.h"
 
 namespace dcl {
+
+/// Thrown by CongestEngine::run when the max-round watchdog fires: the
+/// protocol failed to quiesce within the cap (livelock, or a fault plan
+/// starving it). Carries the diagnostic the operator needs to tell a
+/// livelock (progress recent) from a deadlock-in-disguise (progress stale).
+struct EngineStallError : std::runtime_error {
+  EngineStallError(std::int64_t round, std::int64_t in_flight,
+                   std::int64_t last_progress_round);
+  std::int64_t round = 0;             ///< round at which the cap was hit
+  std::int64_t in_flight = 0;         ///< queued + delayed messages pending
+  std::int64_t last_progress_round = -1;  ///< last round that delivered
+};
 
 class RoundApi {
  public:
@@ -70,8 +84,24 @@ class CongestEngine {
 
   CongestEngine(const Graph& g, const ProgramFactory& factory);
 
-  /// Runs until quiescence or `max_rounds`; returns rounds executed.
+  /// Runs until quiescence; returns rounds executed. If the protocol is
+  /// still active (or messages are still in flight) when `max_rounds` is
+  /// reached, the watchdog throws EngineStallError instead of spinning or
+  /// silently truncating the run.
   std::int64_t run(std::int64_t max_rounds = 1'000'000);
+
+  /// Attaches a fault plan for the next run(): per-message drop (with
+  /// ack/retransmit + exponential backoff, arriving late), duplication
+  /// (suppressed by the receiver's sequence filter, counted as an extra
+  /// copy), delay-by-k (delivered k rounds late), and crash-stop nodes
+  /// (from their crash round on: no sends, no receives, no on_round).
+  /// Recovery extends the run itself, so its round cost lands in the
+  /// charged "engine-run" rounds; retransmitted copies and losses feed the
+  /// ledger retry counters. `nullptr` detaches.
+  void attach_faults(FaultPlan* plan) { faults_ = plan; }
+
+  /// Messages lost beyond the retry budget across all run() calls.
+  std::uint64_t lost_messages() const { return lost_messages_; }
 
   NodeProgram& program(NodeId v) { return *programs_[static_cast<std::size_t>(v)]; }
   RoundLedger& ledger() { return ledger_; }
@@ -80,6 +110,8 @@ class CongestEngine {
   const Graph* g_;
   std::vector<std::unique_ptr<NodeProgram>> programs_;
   RoundLedger ledger_;
+  FaultPlan* faults_ = nullptr;
+  std::uint64_t lost_messages_ = 0;
 };
 
 }  // namespace dcl

@@ -46,6 +46,9 @@ std::map<std::string, double> RoundLedger::rounds_by_label() const {
 void RoundLedger::merge(const RoundLedger& other) {
   entries_.insert(entries_.end(), other.entries_.begin(),
                   other.entries_.end());
+  retry_rounds_ += other.retry_rounds_;
+  retransmitted_messages_ += other.retransmitted_messages_;
+  lost_messages_ += other.lost_messages_;
 }
 
 void RoundLedger::print_breakdown(std::ostream& out) const {
@@ -54,6 +57,12 @@ void RoundLedger::print_breakdown(std::ostream& out) const {
   for (const auto& [label, rounds] : rounds_by_label()) {
     out << "  " << std::left << std::setw(42) << label << ' ' << std::right
         << std::setw(12) << std::setprecision(1) << rounds << '\n';
+  }
+  if (retry_rounds_ > 0.0 || retransmitted_messages_ > 0 ||
+      lost_messages_ > 0) {
+    out << "  recovery: " << std::setprecision(1) << retry_rounds_
+        << " retry rounds, " << retransmitted_messages_ << " retransmitted, "
+        << lost_messages_ << " lost\n";
   }
 }
 

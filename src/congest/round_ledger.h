@@ -45,10 +45,30 @@ class RoundLedger {
   void charge_analytic(std::string label, double rounds) {
     entries_.push_back({std::move(label), CostKind::analytic, rounds, 0});
   }
+  /// Recovery cost of the ack/retransmit protocol (fault plane): `rounds`
+  /// backoff/delay rounds and `retransmitted` extra message copies. Feeds
+  /// both the normal exchange totals and the dedicated retry counters, so
+  /// recovery is visible in the audited breakdown *and* separable from the
+  /// fault-free cost.
+  void charge_retry(std::string label, double rounds,
+                    std::uint64_t retransmitted) {
+    retry_rounds_ += rounds;
+    retransmitted_messages_ += retransmitted;
+    entries_.push_back(
+        {std::move(label), CostKind::exchange, rounds, retransmitted});
+  }
+  /// Messages the retry budget could not save (consumer degraded).
+  void note_lost(std::uint64_t lost) { lost_messages_ += lost; }
 
   double total_rounds() const;
   std::uint64_t total_messages() const;
   double rounds_of_kind(CostKind kind) const;
+
+  double retry_rounds() const { return retry_rounds_; }
+  std::uint64_t retransmitted_messages() const {
+    return retransmitted_messages_;
+  }
+  std::uint64_t lost_messages() const { return lost_messages_; }
 
   const std::vector<CostEntry>& entries() const { return entries_; }
 
@@ -62,6 +82,9 @@ class RoundLedger {
 
  private:
   std::vector<CostEntry> entries_;
+  double retry_rounds_ = 0.0;
+  std::uint64_t retransmitted_messages_ = 0;
+  std::uint64_t lost_messages_ = 0;
 };
 
 }  // namespace dcl

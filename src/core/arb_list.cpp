@@ -6,6 +6,7 @@
 
 #include "common/math_util.h"
 #include "common/parallel_for.h"
+#include "core/broadcast_listing.h"
 #include "core/in_cluster_listing.h"
 #include "routing/cluster_router.h"
 
@@ -73,6 +74,18 @@ constexpr std::int64_t kNodeScanGrain = 256;
 /// Step 4 does nested adjacency×adjacency work per node — a coarser unit.
 constexpr std::int64_t kLightListGrain = 64;
 
+/// Clears every set edge of `mask` with a crashed endpoint (collect first —
+/// mutation during for_each_set is not part of the mask's contract).
+void drop_dead_edges(const Graph& base, const FaultSession& faults,
+                     EdgeMask& mask) {
+  std::vector<EdgeId> doomed;
+  mask.for_each_set([&](EdgeId e) {
+    const Edge& ed = base.edge(e);
+    if (faults.is_dead(ed.u) || faults.is_dead(ed.v)) doomed.push_back(e);
+  });
+  for (const EdgeId e : doomed) mask.set(e, false);
+}
+
 ClusterNeighborTable build_cluster_neighbors(NodeId n, const CurrentView& view,
                                              const std::vector<int>& cluster_of) {
   ClusterNeighborTable table;
@@ -124,6 +137,33 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   auto& es = *ctx.es_mask;
   auto& er = *ctx.er_mask;
   auto& away = *ctx.away;
+
+  // Fault plane: detection and every fault decision happen ONLY at the
+  // sequential phase boundaries of this function — decisions mutate the
+  // recorded replay schedule, so they must never run inside a parallel
+  // region.
+  FaultSession* const faults =
+      (ctx.faults != nullptr && ctx.faults->active()) ? ctx.faults : nullptr;
+  // Crash sweep at call entry: nodes whose crash clock has already passed
+  // leave the logical graph before the decomposition sees them — their
+  // edges can neither be goal edges (the survivor contract covers only
+  // alive-alive edges) nor carry into later iterations.
+  if (faults != nullptr) {
+    const auto newly = faults->detect_crashes(n);
+    faults->charge_crash_timeout(*ctx.ledger, newly.size());
+    if (faults->dead_count() > 0) {
+      drop_dead_edges(base, *faults, er);
+      drop_dead_edges(base, *faults, es);
+    }
+  }
+  auto charge_phase = [&](const char* label, double rounds,
+                          std::uint64_t messages) {
+    if (faults != nullptr) {
+      faults->charge_exchange(*ctx.ledger, label, rounds, messages);
+    } else {
+      ctx.ledger->charge_exchange(label, rounds, messages);
+    }
+  };
 
   ArbIterationTrace trace;
   trace.er_before = er.count();
@@ -195,7 +235,7 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   for (const auto& [c, count] : cluster_neighbors.entries) {
     announce_msgs += static_cast<std::uint64_t>(count);
   }
-  ctx.ledger->charge_exchange("cluster-announce", 1.0, announce_msgs);
+  charge_phase("cluster-announce", 1.0, announce_msgs);
 
   // Heavy threshold: n^{1/4} in the general algorithm (Section 2.4.1),
   // A / n^{1/3} in k4_fast mode (Section 3).
@@ -248,9 +288,8 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
                    static_cast<std::int64_t>(receivers.size())));
     }
   }
-  ctx.ledger->charge_exchange("heavy-edge-shipping",
-                              static_cast<double>(heavy_phase_load),
-                              heavy_msgs);
+  charge_phase("heavy-edge-shipping", static_cast<double>(heavy_phase_load),
+               heavy_msgs);
 
   // ---- Step 3: light-status exchange, bad nodes, bad edges. ---------------
   // One round: every outside node tells its cluster neighbors whether it is
@@ -275,7 +314,7 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   }, kNodeScanGrain);
   std::uint64_t status_msgs = 0;
   for (const std::uint64_t msgs : shard_status_msgs) status_msgs += msgs;
-  ctx.ledger->charge_exchange("light-status", 1.0, status_msgs);
+  charge_phase("light-status", 1.0, status_msgs);
 
   const std::int64_t bad_threshold = std::max<std::int64_t>(
       1, static_cast<std::int64_t>(std::ceil(
@@ -378,12 +417,100 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
       total.broadcast_msgs += stats.broadcast_msgs;
       total.response_msgs += stats.response_msgs;
     }
-    ctx.ledger->charge_exchange("light-list-broadcast",
-                                static_cast<double>(total.broadcast_load),
-                                total.broadcast_msgs);
-    ctx.ledger->charge_exchange("light-list-response",
-                                static_cast<double>(total.response_load),
-                                total.response_msgs);
+    charge_phase("light-list-broadcast",
+                 static_cast<double>(total.broadcast_load),
+                 total.broadcast_msgs);
+    charge_phase("light-list-response",
+                 static_cast<double>(total.response_load),
+                 total.response_msgs);
+  }
+
+  // ---- Fault plane: mid-call crash handling. ------------------------------
+  // Crashes whose clock fell inside steps 2–4 are detected now (the
+  // missed-phase timeout of the pre-step-5 barrier), and again after the
+  // step-5 plan commits. Each detection:
+  //  * removes dead-incident edges from every logical edge set — they stop
+  //    being goal edges (the survivor contract covers alive-alive edges);
+  //  * redistributes what the dead members had learned in steps 2b/4 to the
+  //    surviving cluster members, round-robin ("crash-relearn", charged);
+  //  * marks touched clusters so their rosters are rebuilt over the
+  //    survivors before (or re-planned after) the Theorem 2.4 routing;
+  //  * sends decimated clusters — fewer than 2 survivors, or less than half
+  //    the roster — to the broadcast-listing fallback instead.
+  std::vector<char> cluster_touched(deco.clusters.size(), 0);
+  std::vector<char> cluster_fallback(deco.clusters.size(), 0);
+  EdgeMask fallback_goal(base.edge_count());
+  const bool crash_mode =
+      faults != nullptr && !faults->plan->crashes().empty();
+  auto apply_crashes = [&](const std::vector<NodeId>& newly) {
+    std::vector<std::size_t> newly_touched;
+    if (newly.empty()) return newly_touched;
+    for (const NodeId u : newly) {
+      const int c = cluster_of[static_cast<std::size_t>(u)];
+      if (c < 0) continue;
+      if (!cluster_touched[static_cast<std::size_t>(c)]) {
+        cluster_touched[static_cast<std::size_t>(c)] = 1;
+        newly_touched.push_back(static_cast<std::size_t>(c));
+      }
+      // Redistribute the dead member's learned edges (steps 2b/4) to the
+      // survivors; edges with a dead endpoint are unroutable and dropped.
+      auto& learned_u = learned[static_cast<std::size_t>(u)];
+      std::vector<NodeId> survivors;
+      for (const NodeId w :
+           deco.clusters[static_cast<std::size_t>(c)].nodes) {
+        if (!faults->is_dead(w)) survivors.push_back(w);
+      }
+      if (!survivors.empty() && !learned_u.empty()) {
+        std::uint64_t relearned = 0;
+        std::size_t slot = 0;
+        for (const KnownEdge& ke : learned_u) {
+          if (faults->is_dead(ke.tail) || faults->is_dead(ke.head)) continue;
+          learned[static_cast<std::size_t>(
+                      survivors[slot++ % survivors.size()])]
+              .push_back(ke);
+          ++relearned;
+        }
+        if (relearned > 0) {
+          ctx.ledger->charge_exchange(
+              "crash-relearn",
+              static_cast<double>(ceil_div(
+                  static_cast<std::int64_t>(relearned),
+                  static_cast<std::int64_t>(survivors.size()))),
+              relearned);
+        }
+      }
+      learned_u.clear();
+    }
+    drop_dead_edges(base, *faults, goal);
+    drop_dead_edges(base, *faults, er);
+    drop_dead_edges(base, *faults, es);
+    // Decimation check for every touched, not-yet-fallback cluster.
+    for (std::size_t ci = 0; ci < deco.clusters.size(); ++ci) {
+      if (!cluster_touched[ci] || cluster_fallback[ci]) continue;
+      const Cluster& cluster = deco.clusters[ci];
+      std::size_t alive = 0;
+      for (const NodeId w : cluster.nodes) alive += !faults->is_dead(w);
+      if (alive >= 2 && 2 * alive >= cluster.nodes.size()) continue;
+      cluster_fallback[ci] = 1;
+      std::vector<EdgeId> moved;
+      goal.for_each_set([&](EdgeId be) {
+        const Edge& ed = base.edge(be);
+        if (cluster_of[static_cast<std::size_t>(ed.u)] ==
+            static_cast<int>(cluster.id)) {
+          moved.push_back(be);
+        }
+      });
+      for (const EdgeId be : moved) {
+        goal.set(be, false);
+        fallback_goal.set(be, true);
+      }
+    }
+    return newly_touched;
+  };
+  if (faults != nullptr) {
+    const auto newly = faults->detect_crashes(n);
+    faults->charge_crash_timeout(*ctx.ledger, newly.size());
+    apply_crashes(newly);
   }
 
   // ---- Step 5: reshuffle to responsibility holders (Theorem 2.4). --------
@@ -414,6 +541,42 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   const auto new_id = assign_cluster_ids(deco.clusters, n, *ctx.ledger);
   std::vector<Rng> cluster_rngs = ctx.rng->split_n(deco.clusters.size());
 
+  // Crash mode: clusters with dead members run on *patched* rosters — the
+  // survivors, with dense within-cluster ids reassigned by survivor order
+  // and the routing bandwidth reduced by the members lost (each survivor
+  // lost at most that many internal neighbors). Untouched clusters keep the
+  // original roster objects, so their plans and charges stay bit-identical
+  // to the fault-free run.
+  std::vector<Cluster> patched_clusters;
+  std::vector<NodeId> patched_new_id;
+  auto patch_cluster = [&](std::size_t ci) {
+    Cluster& pc = patched_clusters[ci];
+    const Cluster& oc = deco.clusters[ci];
+    pc.nodes.clear();
+    for (const NodeId w : oc.nodes) {
+      if (!faults->is_dead(w)) pc.nodes.push_back(w);
+    }
+    const auto members_lost =
+        static_cast<std::int64_t>(oc.nodes.size() - pc.nodes.size());
+    pc.min_internal_degree = static_cast<NodeId>(std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(oc.min_internal_degree) - members_lost));
+    for (std::size_t i = 0; i < pc.nodes.size(); ++i) {
+      patched_new_id[static_cast<std::size_t>(pc.nodes[i])] =
+          static_cast<NodeId>(i);
+    }
+  };
+  if (crash_mode) {
+    patched_clusters = deco.clusters;
+    patched_new_id = new_id;
+    for (std::size_t ci = 0; ci < deco.clusters.size(); ++ci) {
+      if (cluster_touched[ci] && !cluster_fallback[ci]) patch_cluster(ci);
+    }
+  }
+  const Cluster* const clusters_data =
+      crash_mode ? patched_clusters.data() : deco.clusters.data();
+  const NodeId* const id_of =
+      crash_mode ? patched_new_id.data() : new_id.data();
+
   struct ClusterTailState {
     ParallelRoutingCharge reshuffle;
     ParallelRoutingCharge partition;
@@ -424,8 +587,10 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   std::vector<InClusterPlan> plans(deco.clusters.size());
 
   auto prepare_cluster = [&](std::size_t ci, ClusterTailState& st) {
-    const Cluster& cluster = deco.clusters[ci];
+    if (crash_mode && cluster_fallback[ci]) return;  // broadcast path
+    const Cluster& cluster = clusters_data[ci];
     const auto k = static_cast<NodeId>(cluster.nodes.size());
+    if (k == 0) return;
     const std::int64_t bandwidth =
         std::max<std::int64_t>(1, cluster.min_internal_degree);
     std::vector<std::vector<KnownEdge>> holders(static_cast<std::size_t>(k));
@@ -436,7 +601,7 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
       const NodeId idx = responsible_cluster_index(edge.tail, n, k);
       holders[static_cast<std::size_t>(idx)].push_back(edge);
       ++send_load[static_cast<std::size_t>(
-          new_id[static_cast<std::size_t>(from_cluster_node)])];
+          id_of[static_cast<std::size_t>(from_cluster_node)])];
       ++recv_load[static_cast<std::size_t>(idx)];
     };
 
@@ -511,7 +676,10 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   // the plans and bit-identical to the multi-thread run. Charges are
   // unaffected: enumeration never touches the ledger, and the commits
   // below run in the same order either way.
-  const bool inline_tail = shard_threads() <= 1;
+  // Crash mode keeps the plans alive past Phase A: a crash detected after
+  // the plan commits must be able to re-plan the touched clusters before
+  // enumeration, which the inline drop-plans-early path cannot do.
+  const bool inline_tail = shard_threads() <= 1 && !crash_mode;
   std::vector<std::vector<std::uint64_t>> rep_ests;
   if (inline_tail) {
     rep_ests.resize(deco.clusters.size());
@@ -555,6 +723,39 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   tail.reshuffle.commit(*ctx.ledger, "reshuffle (T2.4)", n);
   tail.partition.commit(*ctx.ledger, "partition-broadcast (T2.4)", n);
   tail.distribution.commit(*ctx.ledger, "edge-distribution (T2.4)", n);
+
+  // Fault injection for the committed step-5 phases (sequential point —
+  // the decisions were deliberately NOT taken inside the sharded region),
+  // then the post-plan crash sweep: crashes landing between the plan and
+  // the enumeration re-plan only the touched clusters, reusing the
+  // plan/enumerate split — everyone else's plan is already final.
+  if (faults != nullptr) {
+    faults->inject(*ctx.ledger, "reshuffle (T2.4)",
+                   tail.reshuffle.total_messages());
+    faults->inject(*ctx.ledger, "partition-broadcast (T2.4)",
+                   tail.partition.total_messages());
+    faults->inject(*ctx.ledger, "edge-distribution (T2.4)",
+                   tail.distribution.total_messages());
+    const auto newly = faults->detect_crashes(n);
+    faults->charge_crash_timeout(*ctx.ledger, newly.size());
+    const auto newly_touched = apply_crashes(newly);
+    if (!newly_touched.empty()) {
+      ClusterTailState replan;
+      for (const std::size_t ci : newly_touched) {
+        plans[ci] = InClusterPlan{};
+        if (cluster_fallback[ci]) continue;
+        patch_cluster(ci);
+        prepare_cluster(ci, replan);
+      }
+      // The survivors redo the routing from scratch; the first attempt's
+      // rounds above were genuinely spent, so both charges stand.
+      replan.reshuffle.commit(*ctx.ledger, "crash-replan (T2.4)", n);
+      replan.partition.commit(*ctx.ledger, "crash-replan (T2.4)", n);
+      replan.distribution.commit(*ctx.ledger, "crash-replan (T2.4)", n);
+      trace.max_learned_edges =
+          std::max(trace.max_learned_edges, replan.max_learned_edges);
+    }
+  }
 
   // ---- Phase B: flattened weighted enumeration. ---------------------------
   // Every plan's representative list is cut into work items of roughly
@@ -654,6 +855,26 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
     }
   }
 
+  // ---- Fault plane: broadcast fallback for decimated clusters. -----------
+  // A cluster that lost too many members cannot run the Theorem 2.4
+  // routing; its surviving goal edges are covered by a plain broadcast
+  // listing over the alive part of the current graph — correct, with the
+  // honestly charged O(A) degraded cost.
+  if (crash_mode && fallback_goal.any()) {
+    EdgeMask cur_alive = cur;
+    drop_dead_edges(base, *faults, cur_alive);
+    BroadcastListingArgs fargs;
+    fargs.base = &base;
+    fargs.current = &cur_alive;
+    fargs.away = &away;
+    fargs.p = cfg.p;
+    fargs.mode = BroadcastMode::out_edges;
+    fargs.require_edge = &fallback_goal;
+    fargs.label = "crash-fallback-broadcast";
+    broadcast_listing(fargs, *ctx.ledger, *ctx.out);
+    if (ctx.crash_degraded != nullptr) *ctx.crash_degraded = true;
+  }
+
   // ---- Step 6 (k4_fast): sequential per-cluster C-light probing. ---------
   if (cfg.k4_fast) {
     std::int64_t probe_rounds = 0;
@@ -699,8 +920,8 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
       }
       probe_rounds += cluster_max;  // clusters handled sequentially (§3)
     }
-    ctx.ledger->charge_exchange("k4-light-probe",
-                                static_cast<double>(probe_rounds), probe_msgs);
+    charge_phase("k4-light-probe", static_cast<double>(probe_rounds),
+                 probe_msgs);
   }
 
   trace.er_after = er.count();

@@ -44,7 +44,8 @@ ListOutcome run_list_procedure(const Graph& base, const KpConfig& cfg,
                                EdgeMask& away,
                                std::int64_t arboricity_bound,
                                std::int64_t cluster_degree, int list_iteration,
-                               std::vector<ArbIterationTrace>& arb_traces) {
+                               std::vector<ArbIterationTrace>& arb_traces,
+                               FaultSession* faults, bool* crash_degraded) {
   ListOutcome outcome;
   EdgeMask es(base.edge_count());
   EdgeMask er = current;  // Er starts as the whole edge set (§2.3)
@@ -62,6 +63,8 @@ ListOutcome run_list_procedure(const Graph& base, const KpConfig& cfg,
     ctx.away = &away;
     ctx.cluster_degree = cluster_degree;
     ctx.arboricity_bound = arboricity_bound;
+    ctx.faults = faults;
+    ctx.crash_degraded = crash_degraded;
     const double rounds_before = ledger.total_rounds();
     ArbIterationTrace trace = arb_list(ctx);
     trace.list_iteration = list_iteration;
@@ -84,7 +87,10 @@ ListOutcome run_list_procedure(const Graph& base, const KpConfig& cfg,
       args.mode = BroadcastMode::out_edges;
       args.require_edge = &er;
       args.label = "list-fallback-broadcast";
-      broadcast_listing(args, ledger, out);
+      const auto stats = broadcast_listing(args, ledger, out);
+      if (faults != nullptr) {
+        faults->inject(ledger, "list-fallback-broadcast", stats.messages);
+      }
       er.fill(false);
       outcome.used_fallback = true;
       log_warn() << "LIST fallback broadcast used at list iteration "
@@ -104,7 +110,10 @@ ListOutcome run_list_procedure(const Graph& base, const KpConfig& cfg,
     args.mode = BroadcastMode::out_edges;
     args.require_edge = &er;
     args.label = "list-fallback-broadcast";
-    broadcast_listing(args, ledger, out);
+    const auto stats = broadcast_listing(args, ledger, out);
+    if (faults != nullptr) {
+      faults->inject(ledger, "list-fallback-broadcast", stats.messages);
+    }
     outcome.used_fallback = true;
   }
   current = std::move(es);
@@ -122,6 +131,13 @@ KpListResult list_kp_collect(const Graph& g, const KpConfig& cfg,
   KpListResult result;
   const NodeId n = g.node_count();
   if (n == 0 || g.edge_count() == 0) return result;
+
+  // Fault plane: one session per run threads the logical phase clock, the
+  // detected-crash set, and the loss tally through the whole pipeline.
+  FaultSession session;
+  session.plan = cfg.faults;
+  FaultSession* const faults = session.active() ? &session : nullptr;
+  bool crash_degraded = false;
 
   Rng rng(cfg.seed);
   // Initial arboricity witness: the degeneracy orientation.
@@ -164,7 +180,7 @@ KpListResult list_kp_collect(const Graph& g, const KpConfig& cfg,
 
     run_list_procedure(g, cfg, rng, result.ledger, out, current, away,
                        arboricity_bound, cluster_degree, list_iteration,
-                       result.arb_traces);
+                       result.arb_traces, faults, &crash_degraded);
 
     const std::int64_t new_bound =
         std::max<std::int64_t>(1, measured_out_degree_bound(g, current, away));
@@ -178,6 +194,23 @@ KpListResult list_kp_collect(const Graph& g, const KpConfig& cfg,
   }
 
   // Final stage (§2.2): broadcast outgoing edges, list everything left.
+  // Crash sweep first: a node that died since the last ARB-LIST boundary
+  // cannot take part in the broadcast, and its edges left the survivor
+  // contract.
+  if (faults != nullptr) {
+    const auto newly = faults->detect_crashes(n);
+    faults->charge_crash_timeout(result.ledger, newly.size());
+    if (faults->dead_count() > 0) {
+      std::vector<EdgeId> doomed;
+      current.for_each_set([&](EdgeId e) {
+        const Edge& ed = g.edge(e);
+        if (faults->is_dead(ed.u) || faults->is_dead(ed.v)) {
+          doomed.push_back(e);
+        }
+      });
+      for (const EdgeId e : doomed) current.set(e, false);
+    }
+  }
   BroadcastListingArgs args;
   args.base = &g;
   args.current = &current;
@@ -185,11 +218,21 @@ KpListResult list_kp_collect(const Graph& g, const KpConfig& cfg,
   args.p = cfg.p;
   args.mode = BroadcastMode::out_edges;
   args.label = "final-broadcast";
-  broadcast_listing(args, result.ledger, out);
+  const auto final_stats = broadcast_listing(args, result.ledger, out);
+  if (faults != nullptr) {
+    faults->inject(result.ledger, "final-broadcast", final_stats.messages);
+  }
 
   result.unique_cliques = out.unique_count();
   result.total_reports = out.total_reports();
   result.duplication_factor = out.duplication_factor();
+  result.lost_messages = result.ledger.lost_messages();
+  result.crash_degraded = crash_degraded;
+  if (faults != nullptr) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (faults->is_dead(v)) result.crashed_nodes.push_back(v);
+    }
+  }
   return result;
 }
 

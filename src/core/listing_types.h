@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "congest/fault_plan.h"
 #include "congest/round_ledger.h"
 #include "enumeration/clique_enumeration.h"
 #include "expander/decomposition.h"
@@ -187,6 +188,15 @@ struct KpConfig {
 
   /// Deterministic seed for all randomness (decomposition + partitions).
   std::uint64_t seed = 1;
+
+  /// Optional fault plan (congest/fault_plan.h): drops/dups/delays are
+  /// recovered by the charged ack/retransmit protocol (clique output stays
+  /// bit-identical; budget-exhausted losses escalate to charged resends),
+  /// crash events degrade the output to the survivor contract — every Kp
+  /// of the alive-induced subgraph is still listed. Not owned; nullptr =
+  /// fault-free (and then the lister's behavior and every charge are
+  /// bit-identical to a build without the fault plane).
+  FaultPlan* faults = nullptr;
 };
 
 /// Per-ARB-LIST-iteration trace (experiment E8).
@@ -232,6 +242,13 @@ struct KpListResult {
   double duplication_factor = 0.0;
   std::vector<ListIterationTrace> list_traces;
   std::vector<ArbIterationTrace> arb_traces;
+  /// Fault-plane summary (all zero / empty on a fault-free run): messages
+  /// whose retry budget was exhausted (escalated to charged resends),
+  /// crash-stop nodes detected, and whether any cluster fell back to
+  /// broadcast listing after losing too many members.
+  std::uint64_t lost_messages = 0;
+  std::vector<NodeId> crashed_nodes;
+  bool crash_degraded = false;
   double total_rounds() const { return ledger.total_rounds(); }
 };
 

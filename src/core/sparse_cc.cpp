@@ -84,15 +84,28 @@ SparseCcResult sparse_cc_list(const Graph& g, const SparseCcConfig& cfg,
   for (auto& pt : part) {
     pt = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(q)));
   }
+  // Fault plane: the clique phases are accounting-level, so the session
+  // wraps the two charge sites below (retry entries + resend escalation;
+  // the listed cliques are unchanged — see docs/ROBUSTNESS.md).
+  FaultSession session;
+  session.plan = cfg.faults;
+  FaultSession* const faults = session.active() ? &session : nullptr;
+
   CliqueNetwork net(n, cfg.routing);
   net.begin_phase("part-announce");
   // One representative message per ordered pair would be n(n-1) objects;
   // the cost is exactly 1 round in either accounting mode, so charge it
   // directly and skip materialization (the paper's "broadcast one value").
   net.end_phase();
-  net.ledger().charge_exchange("part-announce(broadcast)", 1.0,
-                               static_cast<std::uint64_t>(n) *
-                                   static_cast<std::uint64_t>(n - 1));
+  const std::uint64_t announce_msgs = static_cast<std::uint64_t>(n) *
+                                      static_cast<std::uint64_t>(n - 1);
+  if (faults != nullptr) {
+    faults->charge_exchange(net.ledger(), "part-announce(broadcast)", 1.0,
+                            announce_msgs);
+  } else {
+    net.ledger().charge_exchange("part-announce(broadcast)", 1.0,
+                                 announce_msgs);
+  }
 
   // Bucket edges by part pair (Lemma 2.7 balance check) and compute loads.
   std::vector<std::vector<DirectedEdge>> bucket(
@@ -180,12 +193,19 @@ SparseCcResult sparse_cc_list(const Graph& g, const SparseCcConfig& cfg,
       (max_load == 0)
           ? 0
           : ceil_div(max_load, static_cast<std::int64_t>(n) - 1) + 2;
-  net.ledger().charge_exchange("edge-distribution(lenzen)",
-                               static_cast<double>(distribution_rounds),
-                               total_msgs);
+  if (faults != nullptr) {
+    faults->charge_exchange(net.ledger(), "edge-distribution(lenzen)",
+                            static_cast<double>(distribution_rounds),
+                            total_msgs);
+  } else {
+    net.ledger().charge_exchange("edge-distribution(lenzen)",
+                                 static_cast<double>(distribution_rounds),
+                                 total_msgs);
+  }
 
   if (!cfg.perform_listing) {
     result.ledger = net.ledger();
+    result.lost_messages = result.ledger.lost_messages();
     return result;
   }
 
@@ -238,6 +258,7 @@ SparseCcResult sparse_cc_list(const Graph& g, const SparseCcConfig& cfg,
   }
 
   result.ledger = net.ledger();
+  result.lost_messages = result.ledger.lost_messages();
   result.unique_cliques = out.unique_count();
   result.total_reports = out.total_reports();
   return result;

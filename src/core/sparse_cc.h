@@ -41,6 +41,11 @@ struct SparseCcConfig {
   /// end would materialize millions of cliques; correctness is covered by
   /// the test suite at listing-enabled sizes.
   bool perform_listing = true;
+  /// Optional fault plan (congest/fault_plan.h). The clique phases are
+  /// accounting-level, so recoverable faults surface as charged retry
+  /// entries and budget-exhausted losses as charged resends — the listed
+  /// cliques are unchanged. Not owned; nullptr = fault-free.
+  FaultPlan* faults = nullptr;
 };
 
 struct SparseCcResult {
@@ -51,6 +56,8 @@ struct SparseCcResult {
   std::int64_t fake_edges = 0;
   std::int64_t max_pair_bucket = 0;  ///< Lemma 2.7 quantity (real+fake)
   std::int64_t max_recv_load = 0;
+  /// Messages whose retry budget was exhausted (escalated to resends).
+  std::uint64_t lost_messages = 0;
   double total_rounds() const { return ledger.total_rounds(); }
 };
 

@@ -1,8 +1,12 @@
 #include "graph/graph_io.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace dcl {
 
@@ -48,25 +52,66 @@ Graph read_edge_list(std::istream& in) {
     throw std::runtime_error("read_edge_list: missing node count");
   }
   const std::int64_t n = parse_int(token, "node count");
+  if (n < 0) throw std::runtime_error("read_edge_list: negative node count");
+  if (n > std::numeric_limits<NodeId>::max()) {
+    throw std::runtime_error("read_edge_list: node count " +
+                             std::to_string(n) + " exceeds 2^31-1");
+  }
   if (!next_token(in, token)) {
     throw std::runtime_error("read_edge_list: missing edge count");
   }
   const std::int64_t m = parse_int(token, "edge count");
-  if (n < 0 || m < 0) {
-    throw std::runtime_error("read_edge_list: negative counts");
+  if (m < 0) throw std::runtime_error("read_edge_list: negative edge count");
+  // A simple graph on n nodes holds at most n(n-1)/2 edges; checking before
+  // the reserve means a corrupt header can never trigger a huge allocation.
+  const std::int64_t max_m = n * (n - 1) / 2;
+  if (m > max_m) {
+    throw std::runtime_error("read_edge_list: edge count " +
+                             std::to_string(m) + " exceeds n(n-1)/2 = " +
+                             std::to_string(max_m));
   }
   std::vector<Edge> edges;
-  edges.reserve(static_cast<std::size_t>(m));
+  // Cap the upfront reservation: the count is still untrusted relative to
+  // the actual file size, and geometric growth amortizes the rest.
+  edges.reserve(static_cast<std::size_t>(
+      std::min<std::int64_t>(m, std::int64_t{1} << 20)));
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(
+      std::min<std::int64_t>(2 * m, std::int64_t{1} << 21)));
   for (std::int64_t i = 0; i < m; ++i) {
     if (!next_token(in, token)) {
-      throw std::runtime_error("read_edge_list: truncated edge list");
+      throw std::runtime_error("read_edge_list: truncated edge list (" +
+                               std::to_string(i) + " of " +
+                               std::to_string(m) + " edges)");
     }
     const std::int64_t u = parse_int(token, "endpoint");
     if (!next_token(in, token)) {
-      throw std::runtime_error("read_edge_list: truncated edge");
+      throw std::runtime_error("read_edge_list: truncated edge " +
+                               std::to_string(i));
     }
     const std::int64_t v = parse_int(token, "endpoint");
-    edges.push_back(make_edge(static_cast<NodeId>(u), static_cast<NodeId>(v)));
+    if (u < 0 || v < 0 || u >= n || v >= n) {
+      throw std::runtime_error("read_edge_list: edge " + std::to_string(i) +
+                               " endpoint (" + std::to_string(u) + ", " +
+                               std::to_string(v) +
+                               ") outside [0, " + std::to_string(n) + ")");
+    }
+    if (u == v) {
+      throw std::runtime_error("read_edge_list: self-loop (" +
+                               std::to_string(u) + ", " + std::to_string(v) +
+                               ") at edge " + std::to_string(i));
+    }
+    const Edge e = make_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.u)) << 32) |
+        static_cast<std::uint32_t>(e.v);
+    if (!seen.insert(key).second) {
+      throw std::runtime_error("read_edge_list: duplicate edge (" +
+                               std::to_string(e.u) + ", " +
+                               std::to_string(e.v) + ") at edge " +
+                               std::to_string(i));
+    }
+    edges.push_back(e);
   }
   return Graph::from_edges(static_cast<NodeId>(n), std::move(edges));
 }

@@ -15,8 +15,12 @@ namespace dcl {
 
 void write_edge_list(const Graph& g, std::ostream& out);
 
-/// Parses the format above. Throws `std::runtime_error` on malformed input
-/// (bad counts, out-of-range endpoints, self-loops).
+/// Parses the format above. Every malformed input raises a one-line
+/// `std::runtime_error` naming the offending token or edge index: negative
+/// or > 2^31-1 counts, edge counts beyond n(n-1)/2 (checked *before* any
+/// allocation), unparsable tokens, truncated files, out-of-range or
+/// negative endpoints, self-loops, and duplicate edges. No input can
+/// trigger UB, an abort, or an oversized upfront allocation.
 Graph read_edge_list(std::istream& in);
 
 void save_edge_list(const Graph& g, const std::string& path);

@@ -63,6 +63,7 @@ class ParallelRoutingCharge {
                 NodeId ambient_n);
 
   std::int64_t worst_load() const { return worst_load_; }
+  std::uint64_t total_messages() const { return total_messages_; }
 
  private:
   double worst_rounds_ = 0.0;

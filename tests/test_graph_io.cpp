@@ -32,34 +32,51 @@ TEST(GraphIo, CommentsAndWhitespaceTolerated) {
   EXPECT_TRUE(g.has_edge(1, 2));
 }
 
-TEST(GraphIo, MalformedInputsThrow) {
-  {
-    std::stringstream ss;  // empty
-    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
-  }
-  {
-    std::stringstream ss("3");  // missing edge count
-    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
-  }
-  {
-    std::stringstream ss("3 2\n0 1");  // truncated edge list
-    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
-  }
-  {
-    std::stringstream ss("abc 2\n");  // non-numeric
-    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
-  }
-  {
-    std::stringstream ss("3 1\n0 7\n");  // endpoint out of range
-    EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
-  }
-  {
-    std::stringstream ss("3 1\n1 1\n");  // self loop
-    EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
-  }
-  {
-    std::stringstream ss("-1 0\n");  // negative node count
-    EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+TEST(GraphIo, MalformedInputsThrowOneLineErrors) {
+  // Table-driven hostile-input sweep: every row must raise a
+  // std::runtime_error whose message contains the expected fragment, and
+  // must do so without UB, aborts, or oversized allocations (the huge-count
+  // rows are exactly the ones that used to reach `reserve` unchecked).
+  struct BadInput {
+    const char* name;
+    const char* text;
+    const char* expect;  // substring of the error message
+  };
+  const BadInput cases[] = {
+      {"empty", "", "missing node count"},
+      {"missing edge count", "3", "missing edge count"},
+      {"truncated edge list", "3 2\n0 1", "truncated"},
+      {"truncated edge", "3 2\n0 1\n2", "truncated"},
+      {"non-numeric count", "abc 2\n", "bad node count"},
+      {"non-numeric endpoint", "3 1\n0 x\n", "bad endpoint"},
+      {"float count", "3.5 2\n", "bad node count"},
+      {"negative node count", "-1 0\n", "negative node count"},
+      {"negative edge count", "3 -2\n", "negative edge count"},
+      {"node count over 2^31", "4294967296 0\n", "exceeds 2^31-1"},
+      {"count overflows int64", "999999999999999999999 0\n", "bad node count"},
+      {"edge count over n(n-1)/2", "3 4\n0 1\n0 2\n1 2\n0 1\n",
+       "exceeds n(n-1)/2"},
+      {"huge edge count small n", "4 987654321987\n", "exceeds n(n-1)/2"},
+      {"endpoint out of range", "3 1\n0 7\n", "outside [0, 3)"},
+      {"negative endpoint", "3 1\n-2 1\n", "outside [0, 3)"},
+      {"endpoint over 2^31", "3 1\n0 4294967296\n", "outside [0, 3)"},
+      {"self-loop", "3 1\n1 1\n", "self-loop"},
+      {"duplicate edge", "3 2\n0 1\n0 1\n", "duplicate edge"},
+      {"duplicate reversed", "3 2\n0 1\n1 0\n", "duplicate edge"},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    std::stringstream ss(c.text);
+    try {
+      read_edge_list(ss);
+      FAIL() << "expected a runtime_error for input: " << c.text;
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(c.expect), std::string::npos)
+          << "message '" << what << "' lacks '" << c.expect << "'";
+      EXPECT_EQ(what.find('\n'), std::string::npos)
+          << "error message must be one line: '" << what << "'";
+    }
   }
 }
 

@@ -6,7 +6,11 @@
 //                 powerlaw:<avg_deg> | complete
 //   info <file>                         basic graph statistics
 //   list <file> <p> [general|k4fast|cc|trivial] [seed]
-//                                       run a lister; print rounds + count
+//        [--faults SPEC | --fault-replay FILE] [--fault-record FILE]
+//                                       run a lister; print rounds + count;
+//                                       with faults, the oracle degrades to
+//                                       the survivor contract (docs/
+//                                       ROBUSTNESS.md)
 //   count <file> <p>                    sequential exact count (oracle)
 //   decompose <file> <delta>            expander decomposition statistics
 //   dynamic <family> <n> <p> [batches] [seed]
@@ -24,12 +28,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include <algorithm>
 
 #include "baselines/baselines.h"
+#include "congest/fault_plan.h"
 #include "common/math_util.h"
 #include "core/kp_lister.h"
 #include "dynamic/dynamic_lister.h"
@@ -53,6 +61,10 @@ int usage() {
                "complete)\n"
                "  dcl info <file>\n"
                "  dcl list <file> <p> [general|k4fast|cc|trivial] [seed]\n"
+               "           [--faults SPEC | --fault-replay FILE] "
+               "[--fault-record FILE]\n"
+               "           (SPEC e.g. drop=0.1,dup=0.05,delay=0.02:3,"
+               "retries=4,seed=7,crash=5@2)\n"
                "  dcl count <file> <p>\n"
                "  dcl decompose <file> <delta>\n"
                "  dcl dynamic <family> <n> <p> [batches] [seed]   (family: "
@@ -110,46 +122,174 @@ int cmd_info(int argc, char** argv) {
 }
 
 int cmd_list(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const Graph g = load_edge_list(argv[0]);
-  const int p = std::atoi(argv[1]);
-  const std::string algo = (argc > 2) ? argv[2] : "general";
-  const std::uint64_t seed = (argc > 3) ? std::strtoull(argv[3], nullptr, 10)
-                                        : 1;
+  // Split --fault* option flags from the positional arguments.
+  std::string fault_spec, fault_replay, fault_record;
+  std::vector<char*> pos;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto flag_value = [&](const char* name) -> std::string {
+      const std::size_t len = std::strlen(name);
+      if (a.compare(0, len + 1, std::string(name) + "=") == 0) {
+        return a.substr(len + 1);
+      }
+      if (++i >= argc) {
+        throw std::runtime_error(std::string(name) + " requires a value");
+      }
+      return argv[i];
+    };
+    if (a.rfind("--faults", 0) == 0 && (a.size() == 8 || a[8] == '=')) {
+      fault_spec = flag_value("--faults");
+    } else if (a.rfind("--fault-replay", 0) == 0 &&
+               (a.size() == 14 || a[14] == '=')) {
+      fault_replay = flag_value("--fault-replay");
+    } else if (a.rfind("--fault-record", 0) == 0 &&
+               (a.size() == 14 || a[14] == '=')) {
+      fault_record = flag_value("--fault-record");
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
+      return usage();
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  if (pos.size() < 2) return usage();
+  if (!fault_spec.empty() && !fault_replay.empty()) {
+    throw std::runtime_error(
+        "--faults and --fault-replay are mutually exclusive");
+  }
+
+  const Graph g = load_edge_list(pos[0]);
+  const int p = std::atoi(pos[1]);
+  const std::string algo = (pos.size() > 2) ? pos[2] : "general";
+  const std::uint64_t seed =
+      (pos.size() > 3) ? std::strtoull(pos[3], nullptr, 10) : 1;
+
+  FaultPlan plan;
+  if (!fault_replay.empty()) {
+    std::ifstream in(fault_replay);
+    if (!in) {
+      throw std::runtime_error("cannot open fault schedule '" + fault_replay +
+                               "'");
+    }
+    plan = FaultPlan::deserialize(in);
+  } else if (!fault_spec.empty()) {
+    plan = FaultPlan(FaultSpec::parse(fault_spec));
+  }
+  const bool faulty = plan.enabled() || plan.replaying();
+
   ListingOutput out(g.node_count());
   double rounds = 0;
+  std::vector<NodeId> crashed;
+  bool crash_degraded = false;
+  std::uint64_t lost = 0;
+  double retry_rounds = 0.0;
+  std::uint64_t retransmitted = 0;
   if (algo == "general" || algo == "k4fast") {
     KpConfig cfg;
     cfg.p = p;
     cfg.k4_fast = (algo == "k4fast");
     cfg.seed = seed;
+    cfg.faults = faulty ? &plan : nullptr;
     const auto result = list_kp_collect(g, cfg, out);
     rounds = result.total_rounds();
+    crashed = result.crashed_nodes;
+    crash_degraded = result.crash_degraded;
+    lost = result.lost_messages;
+    retry_rounds = result.ledger.retry_rounds();
+    retransmitted = result.ledger.retransmitted_messages();
     result.ledger.print_breakdown(std::cout);
   } else if (algo == "cc") {
+    if (faulty && !plan.crashes().empty()) {
+      throw std::runtime_error(
+          "cc is accounting-level only: crash=... faults are not supported "
+          "(use drop/dup/delay)");
+    }
     SparseCcConfig cfg;
     cfg.p = p;
     cfg.seed = seed;
+    cfg.faults = faulty ? &plan : nullptr;
     const auto result = sparse_cc_list(g, cfg, out);
     rounds = result.total_rounds();
+    lost = result.lost_messages;
+    retry_rounds = result.ledger.retry_rounds();
+    retransmitted = result.ledger.retransmitted_messages();
     result.ledger.print_breakdown(std::cout);
   } else if (algo == "trivial") {
+    if (faulty) {
+      throw std::runtime_error(
+          "the trivial baseline does not support fault injection");
+    }
     const auto result = trivial_broadcast_list(g, p, out);
     rounds = result.total_rounds();
   } else {
     std::fprintf(stderr, "unknown algorithm '%s'\n", algo.c_str());
     return usage();
   }
+
+  if (!fault_record.empty()) {
+    std::ofstream rec(fault_record);
+    if (!rec) {
+      throw std::runtime_error("cannot write fault schedule '" + fault_record +
+                               "'");
+    }
+    plan.serialize(rec);
+    std::fprintf(stderr, "fault schedule (%zu events) written to %s\n",
+                 plan.schedule().size(), fault_record.c_str());
+  }
+
   std::printf("algorithm:      %s\n", algo.c_str());
   std::printf("K%d instances:   %llu (unique; %llu reports)\n", p,
               static_cast<unsigned long long>(out.unique_count()),
               static_cast<unsigned long long>(out.total_reports()));
   std::printf("rounds:         %.1f\n", rounds);
+  if (faulty) {
+    std::printf("faults:         %.1f retry rounds, %llu retransmitted, "
+                "%llu lost, %zu crashed%s\n",
+                retry_rounds,
+                static_cast<unsigned long long>(retransmitted),
+                static_cast<unsigned long long>(lost), crashed.size(),
+                crash_degraded ? " (degraded fallback used)" : "");
+  }
+
   const auto truth = count_k_cliques(g, p);
-  std::printf("oracle check:   %llu — %s\n",
+  if (crashed.empty()) {
+    // Fault-free / recoverable regime: the output is exact.
+    std::printf("oracle check:   %llu — %s\n",
+                static_cast<unsigned long long>(truth),
+                truth == out.unique_count() ? "match" : "MISMATCH");
+    return truth == out.unique_count() ? 0 : 1;
+  }
+
+  // Survivor contract (docs/ROBUSTNESS.md): every Kp of G[alive] must be
+  // listed, everything listed must be a Kp of G (cliques touching a crashed
+  // node may legitimately appear — they were listed before the crash).
+  std::vector<char> dead(static_cast<std::size_t>(g.node_count()), 0);
+  for (const NodeId v : crashed) dead[static_cast<std::size_t>(v)] = 1;
+  std::vector<Edge> alive_edges;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& ed = g.edge(e);
+    if (dead[static_cast<std::size_t>(ed.u)] ||
+        dead[static_cast<std::size_t>(ed.v)]) {
+      continue;
+    }
+    alive_edges.push_back(ed);
+  }
+  const Graph alive =
+      Graph::from_edges(g.node_count(), std::move(alive_edges));
+  const auto alive_cliques = list_k_cliques(alive, p);
+  std::uint64_t missing = 0;
+  for (const auto& c : alive_cliques) {
+    if (!out.cliques().contains(c)) ++missing;
+  }
+  const bool sound = out.unique_count() <= truth;
+  std::printf("oracle check:   survivor contract — %llu/%zu alive K%d "
+              "listed, %llu total (<= %llu in G) — %s\n",
+              static_cast<unsigned long long>(alive_cliques.size() - missing),
+              alive_cliques.size(), p,
+              static_cast<unsigned long long>(out.unique_count()),
               static_cast<unsigned long long>(truth),
-              truth == out.unique_count() ? "match" : "MISMATCH");
-  return truth == out.unique_count() ? 0 : 1;
+              (missing == 0 && sound) ? "match" : "MISMATCH");
+  return (missing == 0 && sound) ? 0 : 1;
 }
 
 int cmd_count(int argc, char** argv) {
