@@ -1,8 +1,10 @@
 #include "common/parallel_for.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
+#include <string_view>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -22,6 +24,61 @@ int env_threads() {
 }
 
 std::atomic<int> g_shard_threads{0};  // 0 = not yet initialized from env
+
+// Audit mode: -1 = not yet initialized from env, otherwise a ShardAudit
+// value. Same lazy-env-cache shape as g_shard_threads.
+std::atomic<int> g_shard_audit{-1};
+
+std::uint64_t audit_env_seed() {
+  if (const char* s = std::getenv("DCL_SHARD_AUDIT_SEED")) {
+    return static_cast<std::uint64_t>(std::strtoull(s, nullptr, 10));
+  }
+  return 0x5eed5eed5eed5eedULL;
+}
+
+int audit_env_mode() {
+  const char* s = std::getenv("DCL_SHARD_AUDIT");
+  if (s == nullptr) return static_cast<int>(ShardAudit::off);
+  const std::string_view v(s);
+  if (v == "random" || v == "1") return static_cast<int>(ShardAudit::random);
+  if (v == "reverse") return static_cast<int>(ShardAudit::reverse);
+  return static_cast<int>(ShardAudit::off);  // "0", "", unknown: off
+}
+
+std::uint64_t splitmix64_step(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Runs the region's shard bodies one after another on the calling thread
+/// in a permuted order. The permutation for the k-th audited region is a
+/// pure function of (audit seed, k): failures replay bit-exactly under
+/// the same region sequence. The first shard exception propagates
+/// immediately (remaining shards are skipped — the pool's semantics are
+/// "first error wins" too, it merely finishes in-flight shards first).
+void run_audited(int shards, const std::function<void(int)>& body,
+                 ShardAudit mode) {
+  static std::atomic<std::uint64_t> region_counter{0};
+  std::vector<int> order(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) order[static_cast<std::size_t>(s)] = s;
+  if (mode == ShardAudit::reverse) {
+    std::reverse(order.begin(), order.end());
+  } else {
+    const std::uint64_t region =
+        region_counter.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t x = audit_env_seed() ^ (region * 0x9e3779b97f4a7c15ULL);
+    // Fisher-Yates on the seeded SplitMix64 stream.
+    for (std::size_t i = order.size() - 1; i > 0; --i) {
+      const std::size_t j =
+          static_cast<std::size_t>(splitmix64_step(x) % (i + 1));
+      std::swap(order[i], order[j]);
+    }
+  }
+  for (const int s : order) body(s);
+}
 
 /// One dispatched parallel region. Each run gets its own atomics so a
 /// worker waking up late on a finished task can never steal shards from
@@ -146,6 +203,22 @@ void set_shard_threads(int threads) {
                         std::memory_order_relaxed);
 }
 
+ShardAudit shard_audit() {
+  int m = g_shard_audit.load(std::memory_order_relaxed);
+  if (m < 0) {
+    // Benign racy init, same as shard_threads(): concurrent first readers
+    // all compute the same env-derived value, and the atomic store keeps
+    // the race defined.
+    m = audit_env_mode();
+    g_shard_audit.store(m, std::memory_order_relaxed);
+  }
+  return static_cast<ShardAudit>(m);
+}
+
+void set_shard_audit(ShardAudit mode) {
+  g_shard_audit.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
 std::vector<std::int64_t> weighted_shard_bounds(
     std::span<const std::uint64_t> weights, int shards) {
   const auto n = static_cast<std::int64_t>(weights.size());
@@ -176,6 +249,11 @@ std::vector<std::int64_t> weighted_shard_bounds(
 
 namespace parallel_detail {
 void run_sharded(int shards, const std::function<void(int)>& body) {
+  const ShardAudit audit = shard_audit();
+  if (audit != ShardAudit::off) {
+    run_audited(shards, body, audit);
+    return;
+  }
   WorkerPool::instance().run(shards, body);
 }
 }  // namespace parallel_detail

@@ -33,6 +33,35 @@ int shard_threads();
 /// Overrides the shard count (tests; takes precedence over DCL_THREADS).
 void set_shard_threads(int threads);
 
+// ---- Shard-order audit -----------------------------------------------------
+//
+// The merge contract above ("shard bodies may write only to per-shard
+// buffers or disjoint per-node slots; merges are order-independent") is
+// what makes DCL_THREADS a pure speed knob — but by itself it is only a
+// comment. The audit mode makes it executable: instead of dispatching
+// shards to the worker pool, every multi-shard region runs its bodies
+// *sequentially on the calling thread* in a permuted order — a seeded
+// random permutation (`random`) or exact reverse (`reverse`). A body that
+// honours the contract cannot observe the permutation, so every
+// fingerprint/clique assertion in the test suites must still land on the
+// shard-order values; a body that reads state another shard wrote (the
+// race class TSan may miss when the pool happens to serialize) produces a
+// different merged result and fails those assertions deterministically.
+//
+// Enable via the environment (DCL_SHARD_AUDIT=random|reverse|1|0; `1` is
+// `random`, read once at first use, DCL_SHARD_AUDIT_SEED seeds the
+// permutation stream) or programmatically below. The permutation for
+// region k is a pure function of (seed, k), so a failing run replays
+// bit-exactly. Off by default: Release builds pay one relaxed atomic load
+// per multi-shard region.
+enum class ShardAudit { off, random, reverse };
+
+/// Current audit mode: DCL_SHARD_AUDIT on first use, off by default.
+ShardAudit shard_audit();
+
+/// Overrides the audit mode (tests; takes precedence over the env).
+void set_shard_audit(ShardAudit mode);
+
 namespace parallel_detail {
 /// Runs body(0..shards-1) on the persistent worker pool, the calling
 /// thread included. Blocks until every shard finished; rethrows the first

@@ -62,6 +62,7 @@ BroadcastListingStats broadcast_listing(const BroadcastListingArgs& args,
   std::vector<Edge> edges;
   std::vector<EdgeId> kept_ids;
   edges.reserve(static_cast<std::size_t>(current_edges));
+  kept_ids.reserve(static_cast<std::size_t>(current_edges));
   for (EdgeId e = 0; e < base.edge_count(); ++e) {
     if (!is_current(e)) continue;
     edges.push_back(base.edge(e));

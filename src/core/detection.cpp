@@ -41,6 +41,7 @@ CountingResult count_kp_distributed(const Graph& g, const KpConfig& cfg) {
     // distinct components run in parallel, so charge the max depth.
     std::vector<int> dist(static_cast<std::size_t>(g.node_count()), -1);
     std::vector<NodeId> queue;
+    queue.reserve(static_cast<std::size_t>(g.node_count()));  // never popped
     for (NodeId root = 0; root < g.node_count(); ++root) {
       if (dist[static_cast<std::size_t>(root)] != -1) continue;
       dist[static_cast<std::size_t>(root)] = 0;

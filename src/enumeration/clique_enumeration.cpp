@@ -469,6 +469,7 @@ void trim_prefixes(TrimDag& sub, std::span<const NodeId> cands,
                    const Labels& label, std::uint8_t mark,
                    std::vector<NodeId>& saved) {
   saved.clear();
+  saved.reserve(cands.size());  // exactly one entry per candidate
   for (std::size_t i = 0; i < cands.size(); ++i) {
     const NodeId x = cands[i];
     if (i + 1 < cands.size()) {

@@ -17,8 +17,8 @@
 
 #include <array>
 #include <cstdint>
+#include <set>
 #include <span>
-#include <unordered_set>
 #include <vector>
 
 #include "graph/graph.h"
@@ -91,8 +91,11 @@ class CliqueSet {
   /// Visits every member clique as a sorted `std::span<const NodeId>`
   /// without materializing vectors — the allocation-free bulk-merge path
   /// (`ListingOutput::merge_from` folds per-shard sets with it). Packed
-  /// cliques are visited in slot order, overflow cliques after; the span
-  /// is valid only for the duration of the call.
+  /// cliques are visited in slot order, overflow cliques after in
+  /// lexicographic order (the spill set is ordered precisely so this
+  /// visitation order is deterministic — dcl_lint's unordered-iteration
+  /// rule bans hash-order walks on any path that can reach fingerprints);
+  /// the span is valid only for the duration of the call.
   template <typename F>
   void for_each_span(F&& fn) const {
     for (const PackedKey& key : slots_) {
@@ -135,21 +138,16 @@ class CliqueSet {
   template <typename F>
   void for_each(F&& fn) const;  // fn(const Clique&)
 
-  struct VectorHash {
-    std::size_t operator()(const Clique& c) const {
-      std::size_t h = 0xcbf29ce484222325ULL;
-      for (NodeId v : c) {
-        h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) +
-             (h >> 2);
-      }
-      return h;
-    }
-  };
-
   std::vector<PackedKey> slots_;  ///< open addressing; key[0]==kUnused = free
   std::size_t packed_count_ = 0;
   std::uint64_t fingerprint_ = 0;
-  std::unordered_set<Clique, VectorHash> overflow_;
+  /// Spill set for cliques wider than kPackedMax. Ordered (lexicographic
+  /// over sorted member ids), NOT hashed: for_each/for_each_span walk it,
+  /// and an unordered spill would leak implementation-defined hash order
+  /// into every downstream visitation (found by dcl_lint's
+  /// unordered-iteration rule). The spill path only carries >8-wide
+  /// maximal cliques, so the O(log n) node-based set is not a hot path.
+  std::set<Clique> overflow_;
 };
 
 /// All Kp instances of g, each as a sorted vertex vector. p >= 1.

@@ -57,7 +57,8 @@ void extend_delta(const NeighborsFn& neighbors, std::vector<NodeId>& clique,
        ++i) {
     const NodeId w = cands[i];
     intersect_into(cands.subspan(i + 1), neighbors(w), next);
-    clique.push_back(w);
+    // dcl-lint: allow(reserve-hint): depth bounded by p <= 8; the caller's
+    clique.push_back(w);  // scratch keeps its capacity across recursions
     extend_delta(neighbors, clique, next, remaining - 1, scratch, emit);
     clique.pop_back();
   }

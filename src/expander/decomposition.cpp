@@ -172,8 +172,10 @@ LiveSubgraph live_subgraph(const WorkState& state,
       const NodeId nv = to_new[static_cast<std::size_t>(v)];
       const NodeId nw = to_new[static_cast<std::size_t>(w)];
       if (nw < 0) continue;
-      edges.push_back(make_edge(nv, nw));
-      ids.push_back(eids[i]);
+      // dcl-lint: allow(reserve-hint): live intra-cluster edge count is
+      edges.push_back(make_edge(nv, nw));  // unknown before this scan; a
+      // dcl-lint: allow(reserve-hint): counting prepass would cost as much
+      ids.push_back(eids[i]);  // as the growth on these per-level scratches
     }
   }
   // Graph::from_edges sorts edges; sort (edge, id) pairs the same way so the

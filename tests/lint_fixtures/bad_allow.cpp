@@ -1,0 +1,20 @@
+// Fixture: malformed allowlist annotations are themselves findings
+// (rule bad-allow) and can never be allowlisted away — an allow() without a
+// justification is an unreviewable suppression. Never compiled (README.md).
+//
+// The expect markers ride in a leading block comment because the allow()
+// annotation must end its line (the grammar anchors the justification at
+// end-of-comment).
+
+/* dcl-lint-expect: bad-allow */ // dcl-lint: allow(wallclock)
+int unjustified = 0;
+
+/* dcl-lint-expect: bad-allow */ // dcl-lint: allow(wallclock):
+int empty_justification = 0;
+
+/* dcl-lint-expect: bad-allow */ // dcl-lint: allow(not-a-rule): words here
+int unknown_rule = 0;
+
+// A well-formed allow with nothing to suppress is harmless:
+// dcl-lint: allow(raw-thread): unused annotations are not errors
+int unused_allow = 0;

@@ -1,0 +1,36 @@
+// Fixture: float accumulators feeding RoundLedger charges. The approved
+// pattern is exact integer accumulation with one cast at the charge site
+// (shard merges of integers are order-independent; float addition is not).
+// Never compiled (see README.md).
+#include <cstdint>
+#include <vector>
+
+struct RoundLedger {
+  void charge_exchange(const char*, double, std::uint64_t);
+  void charge_analytic(const char*, double);
+};
+
+void float_ledger_fixture(RoundLedger& ledger, const std::vector<int>& xs) {
+  double acc = 0.0;
+  for (const int x : xs) {
+    acc += x;  // order-dependent accumulation...
+  }
+  ledger.charge_exchange("phase", acc, 1);   // dcl-lint-expect: float-ledger
+
+  // The approved pattern: exact integer sum, one cast at the charge site.
+  std::int64_t total = 0;
+  for (const int x : xs) {
+    total += x;
+  }
+  ledger.charge_exchange("phase", static_cast<double>(total), 1);
+
+  // A float that is never accumulated may be charged (it is a pure
+  // function of its inputs, not an interleaving-dependent sum):
+  const double analytic_cost = 3.5 * static_cast<double>(xs.size());
+  ledger.charge_analytic("theorem", analytic_cost);
+
+  double tuning = 1.0;
+  tuning *= 0.5;  // accumulated, but justified below:
+  // dcl-lint: allow(float-ledger): fixture — justified exception, value is
+  ledger.charge_analytic("tuned", tuning);  // a single-thread-only diagnostic
+}

@@ -1,0 +1,20 @@
+// Fixture: raw threading primitives outside src/common/parallel_for.cpp.
+// All parallelism must go through the audited pool (parallel_for_shards),
+// whose merge contract DCL_SHARD_AUDIT can replay; a raw std::thread has no
+// such contract. Never compiled (see README.md).
+#include <future>
+#include <thread>
+
+void raw_thread_fixture() {
+  std::thread worker([] {});                   // dcl-lint-expect: raw-thread
+  worker.join();
+  auto fut = std::async([] { return 1; });     // dcl-lint-expect: raw-thread
+  (void)fut.get();
+  std::jthread auto_joiner([] {});             // dcl-lint-expect: raw-thread
+
+  // hardware_concurrency is a query, not a spawn — mentioning the type in
+  // a nested-name query is still flagged (any std::thread use is suspect):
+  // dcl-lint: allow(raw-thread): fixture — justified read-only query of
+  auto hc = std::thread::hardware_concurrency();  // the core count
+  (void)hc;
+}

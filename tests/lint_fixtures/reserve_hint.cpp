@@ -1,0 +1,37 @@
+// Fixture: the reserve-hint warning — unconditional push_back in an
+// n/m-bounded loop with no reserve() for that container anywhere in the
+// file. Warning-severity: reported, never fatal. Never compiled (README.md).
+#include <vector>
+
+void reserve_hint_fixture(int n, const std::vector<int>& src) {
+  std::vector<int> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(i);                        // dcl-lint-expect: reserve-hint
+  }
+
+  // Reserved container: silent.
+  std::vector<int> ok;
+  ok.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ok.push_back(i);
+  }
+
+  // Conditional push: the final size is data-dependent, reserve(bound)
+  // would be a guess — not flagged.
+  std::vector<int> cond;
+  for (int i = 0; i < n; ++i) {
+    if (i % 2 == 0) cond.push_back(i);
+  }
+
+  // Loop not bounded by an n/m-shaped quantity: silent.
+  std::vector<int> fixed;
+  for (int i = 0; i < 8; ++i) {
+    fixed.push_back(i);
+  }
+
+  // size()-bounded loops count as n/m-shaped:
+  std::vector<int> copy;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    copy.push_back(src[i]);                  // dcl-lint-expect: reserve-hint
+  }
+}

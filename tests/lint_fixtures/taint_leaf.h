@@ -1,0 +1,14 @@
+// Fixture: included by taint_root.cpp (which names RoundLedger) — tainted
+// transitively, so the iteration below must be flagged despite this header
+// never mentioning the ledger. Never compiled (see README.md).
+#pragma once
+#include <unordered_set>
+
+inline int leaf_sum() {
+  std::unordered_set<int> bag;
+  int sum = 0;
+  for (const int v : bag) {                  // dcl-lint-expect: unordered-iteration
+    sum += v;
+  }
+  return sum;
+}

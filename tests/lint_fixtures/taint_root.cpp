@@ -1,0 +1,13 @@
+// Fixture: this TU charges the ledger and includes taint_leaf.h, so the
+// leaf's code is compiled into a ledger-bearing TU — the taint pass must
+// propagate along the include edge and flag the leaf's hash-order walk
+// even though the leaf never names RoundLedger itself.
+// Never compiled (see README.md).
+#include "taint_leaf.h"
+
+class RoundLedger;
+
+void taint_root_fixture(RoundLedger& ledger) {
+  (void)ledger;
+  (void)leaf_sum();
+}

@@ -1,0 +1,38 @@
+// Fixture: iteration over unordered containers in a TU that names
+// RoundLedger — in scope for the taint pass, so every hash-order walk must
+// be flagged. Never compiled (see README.md).
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+class RoundLedger;  // taints this TU: its iteration orders can reach charges
+
+int unordered_iteration_fixture(RoundLedger& ledger) {
+  std::unordered_map<int, int> table;
+  std::unordered_set<long> members;
+  std::map<int, int> sorted_table;  // ordered: iteration is deterministic
+
+  int sum = 0;
+  for (const auto& kv : table) {             // dcl-lint-expect: unordered-iteration
+    sum += kv.second;
+  }
+  auto it = members.begin();                 // dcl-lint-expect: unordered-iteration
+  (void)it;
+
+  // Ordered containers iterate deterministically — never flagged:
+  for (const auto& kv : sorted_table) {
+    sum += kv.second;
+  }
+
+  // Point lookups on unordered containers are fine (no order observed):
+  sum += static_cast<int>(table.count(3));
+  sum += static_cast<int>(members.size());
+
+  // dcl-lint: allow(unordered-iteration): fixture — justified as a
+  for (const auto& kv : table) {  // debug-only dump that never reaches output
+    sum -= kv.first;
+  }
+  (void)ledger;
+  return sum;
+}

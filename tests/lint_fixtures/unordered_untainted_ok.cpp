@@ -1,0 +1,15 @@
+// Fixture: the same iteration patterns as unordered_iteration.cpp but in a
+// TU that never reaches RoundLedger/ListingOutput — out of scope for the
+// unordered-iteration rule, so nothing here may be flagged. (Hash order is
+// still nondeterministic, but it cannot leak into fingerprints from here.)
+// Never compiled (see README.md).
+#include <unordered_map>
+
+int unordered_untainted_fixture() {
+  std::unordered_map<int, int> cache;
+  int sum = 0;
+  for (const auto& kv : cache) {
+    sum += kv.second;
+  }
+  return sum;
+}

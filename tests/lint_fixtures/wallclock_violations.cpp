@@ -1,0 +1,30 @@
+// Fixture: every banned wall-clock / unseeded-randomness token, plus the
+// allowlist escape hatch. Never compiled (see README.md).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int wallclock_fixture() {
+  int a = rand();                                // dcl-lint-expect: wallclock
+  srand(42u);                                    // dcl-lint-expect: wallclock
+  std::random_device rd;                         // dcl-lint-expect: wallclock
+  long t = time(nullptr);                        // dcl-lint-expect: wallclock
+  auto n = std::chrono::system_clock::now();     // dcl-lint-expect: wallclock
+  auto s = std::chrono::steady_clock::now();     // dcl-lint-expect: wallclock
+  struct timespec ts;
+  clock_gettime(0, &ts);                         // dcl-lint-expect: wallclock
+
+  // A comment saying rand() or time() must not trip the lexer, and neither
+  // may the string literal below.
+  const char* prose = "call rand() at time(0) o'clock";
+
+  // dcl-lint: allow(wallclock): fixture for the allowlist path — a justified
+  int b = rand();  // exception is accepted and reported nowhere
+
+  // Identifiers merely *containing* banned names are fine:
+  int grand_total = 0;
+  int time_steps = 0;
+  (void)a; (void)rd; (void)t; (void)n; (void)s; (void)prose; (void)b;
+  return grand_total + time_steps;
+}

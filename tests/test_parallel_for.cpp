@@ -115,6 +115,130 @@ TEST(ParallelForShards, FirstExceptionPropagates) {
   EXPECT_EQ(sum.load(), 4950);
 }
 
+// ---- Shard-order audit ----------------------------------------------------
+//
+// DCL_SHARD_AUDIT turns the "order-independent merge" comment into an
+// executable check: multi-shard regions run sequentially in a permuted
+// order, so any body that observes another shard's writes diverges from
+// the shard-order result deterministically.
+
+/// Restores the audit mode on scope exit so suites stay isolated.
+class ScopedShardAudit {
+ public:
+  explicit ScopedShardAudit(ShardAudit mode) : previous_(shard_audit()) {
+    set_shard_audit(mode);
+  }
+  ~ScopedShardAudit() { set_shard_audit(previous_); }
+
+ private:
+  ShardAudit previous_;
+};
+
+TEST(ShardAudit, ReverseModeRunsShardsSequentiallyInReverse) {
+  ScopedShardThreads guard(4);
+  ScopedShardAudit audit(ShardAudit::reverse);
+  std::vector<int> order;  // no mutex needed: audit mode is sequential
+  parallel_for_shards(8, [&](int shard, std::int64_t, std::int64_t) {
+    order.push_back(shard);
+  });
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(ShardAudit, RandomModePermutesButCoversEveryShardExactlyOnce) {
+  ScopedShardThreads guard(8);
+  ScopedShardAudit audit(ShardAudit::random);
+  // Across several regions the seeded permutations cannot all be the
+  // identity (probability (1/8!)^4 for a uniform stream; the stream is
+  // deterministic, so this either always passes or always fails).
+  bool saw_non_identity = false;
+  for (int region = 0; region < 4; ++region) {
+    std::vector<int> order;
+    parallel_for_shards(64, [&](int shard, std::int64_t, std::int64_t) {
+      order.push_back(shard);
+    });
+    ASSERT_EQ(order.size(), 8u);
+    std::vector<int> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+    if (!std::is_sorted(order.begin(), order.end())) saw_non_identity = true;
+  }
+  EXPECT_TRUE(saw_non_identity);
+}
+
+TEST(ShardAudit, ContractCompliantBodiesAreAuditInvariant) {
+  // Per-shard buffers merged in shard order: the audit permutation must be
+  // unobservable in the merged result.
+  ScopedShardThreads guard(4);
+  const std::int64_t n = 1000;
+  const auto run = [&] {
+    std::vector<std::vector<std::int64_t>> per_shard(4);
+    parallel_for_shards(n, [&](int shard, std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        per_shard[static_cast<std::size_t>(shard)].push_back(i * i);
+      }
+    });
+    std::vector<std::int64_t> merged;
+    for (const auto& buf : per_shard) {
+      merged.insert(merged.end(), buf.begin(), buf.end());
+    }
+    return merged;
+  };
+  const std::vector<std::int64_t> reference = run();
+  for (const ShardAudit mode : {ShardAudit::random, ShardAudit::reverse}) {
+    ScopedShardAudit audit(mode);
+    EXPECT_EQ(run(), reference);
+  }
+}
+
+TEST(ShardAudit, OrderDependentBodyIsCaughtByReverseExecution) {
+  // The violation class the audit exists for: a body that folds into
+  // shared state non-commutatively observes the execution order. Under
+  // reverse audit the folded value must differ from the shard-order
+  // value, which is exactly how the suites' fingerprint assertions would
+  // catch a real contract breach.
+  ScopedShardThreads guard(4);
+  const auto fold = [&] {
+    std::int64_t acc = 0;
+    std::mutex mu;
+    parallel_for_shards(4, [&](int shard, std::int64_t, std::int64_t) {
+      std::lock_guard<std::mutex> lock(mu);
+      acc = acc * 10 + shard;  // order-dependent on purpose
+    });
+    return acc;
+  };
+  ScopedShardAudit audit(ShardAudit::reverse);
+  const std::int64_t reversed = fold();
+  EXPECT_EQ(reversed, 3210);  // shards folded 3,2,1,0
+  EXPECT_NE(reversed, 123);   // != the shard-order fold 0,1,2,3
+}
+
+TEST(ShardAudit, WeightedShardsHonorAuditMode) {
+  ScopedShardThreads guard(4);
+  ScopedShardAudit audit(ShardAudit::reverse);
+  std::vector<std::uint64_t> weights(32, 1);
+  std::vector<int> order;
+  parallel_for_weighted_shards(
+      weights, [&](int shard, std::int64_t, std::int64_t) {
+        order.push_back(shard);
+      });
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(ShardAudit, ExceptionsStillPropagateUnderAudit) {
+  ScopedShardThreads guard(4);
+  ScopedShardAudit audit(ShardAudit::random);
+  EXPECT_THROW(
+      parallel_for_shards(4,
+                          [&](int shard, std::int64_t, std::int64_t) {
+                            if (shard == 1) {
+                              throw std::runtime_error("audit failure");
+                            }
+                          }),
+      std::runtime_error);
+}
+
 // ---- Determinism under threads -------------------------------------------
 //
 // The whole point of the sharded helper: the round ledger carries the
@@ -260,7 +384,7 @@ TEST(WeightedShards, EveryItemRunsExactlyOnceUnderParallelExecution) {
   }
   std::vector<std::atomic<int>> hits(weights.size());
   parallel_for_weighted_shards(
-      weights, [&](int shard, std::int64_t lo, std::int64_t hi) {
+      weights, [&](int, std::int64_t lo, std::int64_t hi) {
         for (std::int64_t i = lo; i < hi; ++i) {
           hits[static_cast<std::size_t>(i)].fetch_add(1);
         }

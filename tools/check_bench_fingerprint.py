@@ -2,6 +2,7 @@
 """Diff the cost-model fingerprints of two BENCH_*.json snapshots.
 
 Usage: check_bench_fingerprint.py CURRENT BASELINE [--require NAME ...]
+       check_bench_fingerprint.py --list SNAPSHOT
 
 The counters recorded by the self-timed harnesses (clique totals,
 round-ledger sums, per-phase round costs) are produced with fixed seeds
@@ -20,33 +21,72 @@ Timings (ns_per_op, items_per_sec, iterations) are ignored entirely, so
 the check is machine- and settings-independent; benchmarks new in CURRENT
 are reported but do not fail the check. Used by the CI bench-smoke job to
 diff BENCH_core.ci.json against the committed BENCH_core.json.
+
+`--list SNAPSHOT` prints each benchmark's name and its counter keys —
+useful for picking --require pins without opening the JSON by hand.
+
+Exit codes: 0 clean, 1 drift, 2 usage error, 3 a snapshot file is missing
+or unreadable (distinct so CI can tell "the bench run never produced its
+snapshot" apart from a genuine fingerprint failure).
 """
 
 import json
 import sys
 
 
+class MissingSnapshot(Exception):
+    pass
+
+
 def load_counters(path):
-    with open(path) as f:
-        snapshot = json.load(f)
+    try:
+        with open(path) as f:
+            snapshot = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_bench_fingerprint: cannot read snapshot {path}: {e}",
+              file=sys.stderr)
+        print(f"hint: generate it with tools/run_bench.sh -o {path} "
+              f"(CI writes BENCH_core.ci.json in the bench-smoke job)",
+              file=sys.stderr)
+        raise MissingSnapshot(path) from e
     return {
         b["name"]: b.get("counters", {})
         for b in snapshot.get("benchmarks", [])
     }
 
 
+def list_snapshot(path):
+    counters = load_counters(path)
+    for name, keys in sorted(counters.items()):
+        print(f"{name}: {', '.join(sorted(keys)) if keys else '(no counters)'}")
+    print(f"{len(counters)} benchmark(s), "
+          f"{sum(1 for c in counters.values() if c)} with counters")
+    return 0
+
+
 def main(argv):
     args = list(argv[1:])
-    required = []
-    if "--require" in args:
-        split = args.index("--require")
-        required = args[split + 1:]
-        args = args[:split]
-    if len(args) != 2:
-        print(__doc__.strip().splitlines()[2], file=sys.stderr)
-        return 2
-    current = load_counters(args[0])
-    baseline = load_counters(args[1])
+    try:
+        if "--list" in args:
+            args.remove("--list")
+            if len(args) != 1:
+                print("usage: check_bench_fingerprint.py --list SNAPSHOT",
+                      file=sys.stderr)
+                return 2
+            return list_snapshot(args[0])
+        required = []
+        if "--require" in args:
+            split = args.index("--require")
+            required = args[split + 1:]
+            args = args[:split]
+        if len(args) != 2:
+            print(__doc__.strip().splitlines()[2], file=sys.stderr)
+            print(__doc__.strip().splitlines()[3], file=sys.stderr)
+            return 2
+        current = load_counters(args[0])
+        baseline = load_counters(args[1])
+    except MissingSnapshot:
+        return 3
 
     drift = []
     for name in required:
@@ -85,4 +125,7 @@ def main(argv):
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:  # e.g. --list | head
+        sys.exit(0)

@@ -266,6 +266,7 @@ int cmd_list(int argc, char** argv) {
   std::vector<char> dead(static_cast<std::size_t>(g.node_count()), 0);
   for (const NodeId v : crashed) dead[static_cast<std::size_t>(v)] = 1;
   std::vector<Edge> alive_edges;
+  alive_edges.reserve(static_cast<std::size_t>(g.edge_count()));
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     const Edge& ed = g.edge(e);
     if (dead[static_cast<std::size_t>(ed.u)] ||

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# ThreadSanitizer leg of the analysis plane (docs/ANALYSIS.md): configure a
+# -DDCL_SANITIZE=thread build and run the concurrency-bearing suites with the
+# sharded worker pool live (DCL_THREADS defaults to 4 — TSan on a 1-shard run
+# would watch an empty pool).
+#
+# Usage:
+#   tools/run_tsan.sh                      # fast loop (ctest -LE slow)
+#   tools/run_tsan.sh -R ParallelFor       # forward extra args to ctest
+#   DCL_THREADS=8 tools/run_tsan.sh        # wider pool
+#   DCL_SHARD_AUDIT=random tools/run_tsan.sh   # audit + TSan combined
+#
+# Honours BUILD_DIR (default build-tsan), CMAKE_ARGS, and JOBS like
+# tools/run_tier1.sh. A suppressions file is loaded from
+# tools/tsan_suppressions.txt only if it exists; the repo policy
+# (docs/ANALYSIS.md) is that every suppression must carry a written proof of
+# benignity, so the default state is "no file, no suppressions".
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-build-tsan}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)}"
+
+case "${BUILD_DIR}" in
+  /*) ;;
+  *) BUILD_DIR="${REPO_ROOT}/${BUILD_DIR}" ;;
+esac
+
+TSAN_OPTS="halt_on_error=1 second_deadlock_stack=1"
+if [[ -f "${REPO_ROOT}/tools/tsan_suppressions.txt" ]]; then
+  TSAN_OPTS+=" suppressions=${REPO_ROOT}/tools/tsan_suppressions.txt"
+fi
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDCL_SANITIZE=thread ${CMAKE_ARGS:-}
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+cd "${BUILD_DIR}"
+
+if [[ $# -gt 0 ]]; then
+  CTEST_ARGS=("$@")
+else
+  CTEST_ARGS=(-LE slow)
+fi
+
+TSAN_OPTIONS="${TSAN_OPTIONS:-${TSAN_OPTS}}" \
+DCL_THREADS="${DCL_THREADS:-4}" \
+  ctest --output-on-failure -j "${JOBS}" "${CTEST_ARGS[@]}"
