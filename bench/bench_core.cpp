@@ -9,10 +9,13 @@
 // Usage: bench_core [--out FILE]    (FILE defaults to "-" = stdout table +
 // no JSON; tools/run_bench.sh writes BENCH_core.json). The timing loop is
 // shrunk for CI smoke runs via DCL_BENCH_REPS / DCL_BENCH_MIN_MS.
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 #include "bench_util.h"
 #include "common/parallel_for.h"
+#include "common/telemetry.h"
 #include "congest/clique_network.h"
 #include "congest/congest_network.h"
 #include "congest/engine.h"
@@ -144,6 +147,26 @@ void enumeration_benchmarks(BenchReport& report, const char* input_name,
   }
 }
 
+/// Attaches a machine-readable dcl-run-report to a bench entry: when
+/// DCL_BENCH_REPORT_DIR is set, the collector gathered during the entry's
+/// untimed reference run is written to <dir>/<name>.report.json (slashes
+/// in the entry name become underscores). The timing loops never collect,
+/// so attachment cannot perturb the measurement.
+void maybe_attach_report(const std::string& entry_name,
+                         const TraceCollector& collector,
+                         const RoundLedger* ledger) {
+  const char* dir = std::getenv("DCL_BENCH_REPORT_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::string file = entry_name;
+  for (char& c : file) {
+    if (c == '/') c = '_';
+  }
+  const std::string path = std::string(dir) + "/" + file + ".report.json";
+  std::ofstream out(path);
+  if (!out) return;
+  write_run_report(out, collector, ledger, entry_name);
+}
+
 void list_kp_benchmark(BenchReport& report, const char* input_name,
                        const Graph& g, int p, double stop_scale = 0.1) {
   KpConfig cfg;
@@ -152,12 +175,21 @@ void list_kp_benchmark(BenchReport& report, const char* input_name,
   cfg.stop_scale = stop_scale;  // drive the iterated pipeline, not just the
                                 // final broadcast, so the masks and dedup
                                 // paths are hot
+  const std::string suffix =
+      std::string("/p=") + std::to_string(p) + "/" + input_name;
   // One fixed-seed reference run: the ledger totals are the cost-model
-  // fingerprint that perf refactors must keep bit-identical.
-  const KpListResult ref = list_kp(g, cfg);
+  // fingerprint that perf refactors must keep bit-identical. It runs under
+  // a collector (collection is non-perturbing — the teleoff A/B entries
+  // prove it) so the entry can attach a run report.
+  TraceCollector ref_trace;
+  const KpListResult ref = [&] {
+    TelemetryScope scope(ref_trace);
+    return list_kp(g, cfg);
+  }();
+  maybe_attach_report("list_kp" + suffix, ref_trace, &ref.ledger);
   {
     auto& t = report.add(time_kernel(
-        std::string("list_kp/p=") + std::to_string(p) + "/" + input_name,
+        "list_kp" + suffix,
         [&] { return list_kp(g, cfg).total_reports; },
         static_cast<double>(ref.unique_cliques)));
     t.counters.emplace_back("ledger_total_rounds", ref.total_rounds());
@@ -174,9 +206,14 @@ void list_kp_benchmark(BenchReport& report, const char* input_name,
     // ns_per_op gap is the measured cluster-parallel speedup.
     const int previous = shard_threads();
     set_shard_threads(4);
-    const KpListResult ref4 = list_kp(g, cfg);  // counters from a 4-shard run
+    TraceCollector ref4_trace;
+    const KpListResult ref4 = [&] {  // counters from a 4-shard run
+      TelemetryScope scope(ref4_trace);
+      return list_kp(g, cfg);
+    }();
+    maybe_attach_report("list_kp_t4" + suffix, ref4_trace, &ref4.ledger);
     auto& t = report.add(time_kernel(
-        std::string("list_kp_t4/p=") + std::to_string(p) + "/" + input_name,
+        "list_kp_t4" + suffix,
         [&] { return list_kp(g, cfg).total_reports; },
         static_cast<double>(ref4.unique_cliques)));
     set_shard_threads(previous);
@@ -192,6 +229,81 @@ void list_kp_benchmark(BenchReport& report, const char* input_name,
 /// round-trips it bit-exactly (doubles hold integers < 2^53 exactly).
 double fold_fingerprint(std::uint64_t fp) {
   return static_cast<double>((fp ^ (fp >> 32)) & 0xffffffffULL);
+}
+
+/// Telemetry A/B: the same fixed-seed list_kp run with the observability
+/// plane disabled (A: no collector installed — every probe is one relaxed
+/// atomic load) and enabled (B: a TraceCollector installed around each
+/// run). Mirrors fault_plane_ab_benchmark: the committed counters — ledger
+/// totals, folded clique fingerprints, and the explicit ab_*_equal flags —
+/// prove the instrumented pipeline's cost model and output are
+/// bit-identical with telemetry on and off, and the ns_per_op gap measures
+/// what collection (B) and the disabled probes (A) actually cost.
+void telemetry_ab_benchmark(BenchReport& report) {
+  Rng rng(17);
+  const Graph g = erdos_renyi_gnm(140, 3200, rng);
+  KpConfig cfg;
+  cfg.p = 4;
+  cfg.seed = 7;
+  cfg.stop_scale = 0.1;
+
+  ListingOutput out_a(g.node_count());
+  const KpListResult ref_a = list_kp_collect(g, cfg, out_a);
+
+  TraceCollector collector;
+  ListingOutput out_b(g.node_count());
+  const KpListResult ref_b = [&] {
+    TelemetryScope scope(collector);
+    return list_kp_collect(g, cfg, out_b);
+  }();
+  const bool ledgers_equal = [&] {
+    const auto& ea = ref_a.ledger.entries();
+    const auto& eb = ref_b.ledger.entries();
+    if (ea.size() != eb.size()) return false;
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      if (ea[i].label != eb[i].label || ea[i].rounds != eb[i].rounds ||
+          ea[i].messages != eb[i].messages) {
+        return false;
+      }
+    }
+    return true;
+  }();
+  const bool fingerprints_equal =
+      out_a.cliques().fingerprint() == out_b.cliques().fingerprint();
+  maybe_attach_report("list_kp_teleoff_b/p=4/er_n140_m3200", collector,
+                      &ref_b.ledger);
+
+  {
+    auto& t = report.add(time_kernel(
+        "list_kp_teleoff_a/p=4/er_n140_m3200",
+        [&] { return list_kp(g, cfg).total_reports; },
+        static_cast<double>(ref_a.unique_cliques)));
+    t.counters.emplace_back("ledger_total_rounds", ref_a.total_rounds());
+    t.counters.emplace_back("unique_cliques",
+                            static_cast<double>(ref_a.unique_cliques));
+    t.counters.emplace_back("fingerprint_fold32",
+                            fold_fingerprint(out_a.cliques().fingerprint()));
+  }
+  {
+    auto& t = report.add(time_kernel(
+        "list_kp_teleoff_b/p=4/er_n140_m3200",
+        [&] {
+          TraceCollector per_run;
+          TelemetryScope scope(per_run);
+          return list_kp(g, cfg).total_reports;
+        },
+        static_cast<double>(ref_b.unique_cliques)));
+    t.counters.emplace_back("ledger_total_rounds", ref_b.total_rounds());
+    t.counters.emplace_back("unique_cliques",
+                            static_cast<double>(ref_b.unique_cliques));
+    t.counters.emplace_back("fingerprint_fold32",
+                            fold_fingerprint(out_b.cliques().fingerprint()));
+    t.counters.emplace_back("span_count",
+                            static_cast<double>(collector.spans().size()));
+    t.counters.emplace_back("ab_ledgers_equal", ledgers_equal ? 1.0 : 0.0);
+    t.counters.emplace_back("ab_fingerprints_equal",
+                            fingerprints_equal ? 1.0 : 0.0);
+  }
 }
 
 /// Fault-plane A/B: the same fixed-seed list_kp run with cfg.faults left
@@ -271,14 +383,22 @@ void dynamic_benchmarks(BenchReport& report) {
   const Graph initial = Graph::from_edges(stream.n, stream.initial);
   const auto batches = static_cast<double>(stream.batches.size());
 
-  // One reference replay for the fingerprint counters.
+  // One reference replay for the fingerprint counters (collected, so the
+  // entry can attach a run report; the dynamic engine is purely local —
+  // no ledger section).
   std::uint64_t added_total = 0, removed_total = 0;
+  TraceCollector churn_trace;
   DynamicLister ref(initial, p);
-  for (const UpdateBatch& b : stream.batches) {
-    ref.apply(b);
-    added_total += ref.last_stats().cliques_added;
-    removed_total += ref.last_stats().cliques_removed;
+  {
+    TelemetryScope scope(churn_trace);
+    for (const UpdateBatch& b : stream.batches) {
+      ref.apply(b);
+      added_total += ref.last_stats().cliques_added;
+      removed_total += ref.last_stats().cliques_removed;
+    }
   }
+  maybe_attach_report("dyn_churn_apply/p=4/n512_m8192_b48", churn_trace,
+                      nullptr);
 
   {
     auto& t = report.add(time_kernel(
@@ -338,12 +458,18 @@ void dynamic_benchmarks(BenchReport& report) {
                                                       window_rng);
     const Graph window_initial = Graph::from_edges(window.n, window.initial);
     std::uint64_t w_added = 0, w_removed = 0;
+    TraceCollector window_trace;
     DynamicLister w_ref(window_initial, wp);
-    for (const UpdateBatch& b : window.batches) {
-      w_ref.apply(b);
-      w_added += w_ref.last_stats().cliques_added;
-      w_removed += w_ref.last_stats().cliques_removed;
+    {
+      TelemetryScope scope(window_trace);
+      for (const UpdateBatch& b : window.batches) {
+        w_ref.apply(b);
+        w_added += w_ref.last_stats().cliques_added;
+        w_removed += w_ref.last_stats().cliques_removed;
+      }
     }
+    maybe_attach_report("dyn_window_apply/p=3/n400_b24_w4", window_trace,
+                        nullptr);
     auto& t = report.add(time_kernel(
         "dyn_window_apply/p=3/n400_b24_w4",
         [&] {
@@ -404,6 +530,7 @@ int run(const char* out_path) {
   list_kp_benchmark(report, "er1c_n2000_m30000", q1_input, 4, 0.01);
 
   fault_plane_ab_benchmark(report);
+  telemetry_ab_benchmark(report);
   simulator_benchmarks(report);
   dynamic_benchmarks(report);
 

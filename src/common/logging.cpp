@@ -1,11 +1,19 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <iostream>
+#include <mutex>
+#include <string_view>
+
+#include "common/telemetry.h"
 
 namespace dcl {
 
 namespace {
 std::atomic<LogLevel> g_threshold{LogLevel::warn};
+// One lock for every LogLine in the process: lines from concurrent shard
+// bodies serialize whole, never interleaving mid-line.
+std::mutex g_log_mutex;
 }  // namespace
 
 LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
@@ -13,5 +21,21 @@ LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
 void set_log_threshold(LogLevel level) {
   g_threshold.store(level, std::memory_order_relaxed);
 }
+
+namespace detail {
+
+void emit_log_line(LogLevel level, const std::string& line) {
+  if (level >= LogLevel::info) {
+    if (TraceCollector* telemetry = active_telemetry()) {
+      std::string_view text(line);
+      if (!text.empty() && text.back() == '\n') text.remove_suffix(1);
+      telemetry->instant(text, "log");
+    }
+  }
+  const std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::cerr << line;
+}
+
+}  // namespace detail
 
 }  // namespace dcl

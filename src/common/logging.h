@@ -2,10 +2,13 @@
 //
 // The simulators and algorithms are libraries, so logging defaults to
 // `warn` and is globally adjustable; experiment harnesses raise it to
-// `info` for phase-by-phase traces.
+// `info` for phase-by-phase traces. Lines are fully formatted in a
+// per-line buffer and handed to `detail::emit_log_line`, which writes them
+// under one process-wide lock — shard bodies logging under DCL_THREADS>1
+// cannot tear each other's lines mid-write — and routes `info`+ lines into
+// the active telemetry TraceCollector as instant events.
 #pragma once
 
-#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -19,6 +22,11 @@ void set_log_threshold(LogLevel level);
 
 namespace detail {
 
+/// Writes the newline-terminated `line` to stderr as a single locked
+/// write, and — for `info` and above — records it as a telemetry instant
+/// event when a TraceCollector is active.
+void emit_log_line(LogLevel level, const std::string& line);
+
 class LogLine {
  public:
   LogLine(LogLevel level, const char* tag) : level_(level) {
@@ -29,7 +37,7 @@ class LogLine {
   ~LogLine() {
     if (level_ >= log_threshold()) {
       stream_ << '\n';
-      std::cerr << stream_.str();
+      emit_log_line(level_, stream_.str());
     }
   }
   template <typename T>

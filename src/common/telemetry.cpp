@@ -1,0 +1,455 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <ostream>
+
+#include "congest/round_ledger.h"
+
+namespace dcl {
+
+namespace {
+
+// JSON plumbing shared by both exporters. Doubles go through %.17g so the
+// exported bytes are an exact function of the double's bits — the report
+// byte-identity contract at DCL_THREADS in {1,4} rides on this.
+std::string json_number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_string(std::string_view text) {
+  return '"' + json_escape(text) + '"';
+}
+
+// Synthetic Chrome-trace timestamp in microseconds: 1 round = 1000 us,
+// with the global event sequence as a sub-microsecond tie-breaker so
+// nested spans that begin at the same round count still nest strictly.
+std::string trace_ts(double rounds, std::uint64_t seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                rounds * 1000.0 + static_cast<double>(seq) * 1e-3);
+  return buf;
+}
+
+}  // namespace
+
+// ---- HistogramStats --------------------------------------------------------
+
+void HistogramStats::record(std::uint64_t value) {
+  if (count == 0 || value < min) min = value;
+  if (count == 0 || value > max) max = value;
+  ++count;
+  sum += value;
+  ++buckets[static_cast<int>(std::bit_width(value))];
+}
+
+void HistogramStats::merge(const HistogramStats& other) {
+  if (other.count == 0) return;
+  if (count == 0 || other.min < min) min = other.min;
+  if (count == 0 || other.max > max) max = other.max;
+  count += other.count;
+  sum += other.sum;
+  for (const auto& [bucket, n] : other.buckets) buckets[bucket] += n;
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+void MetricsRegistry::counter_add(std::string_view name, std::uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::gauge_set(std::string_view name, std::int64_t value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::gauge_max(std::string_view name, std::int64_t value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = std::max(it->second, value);
+  }
+}
+
+void MetricsRegistry::histogram_record(std::string_view name,
+                                       std::uint64_t value) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), HistogramStats{}).first;
+  }
+  it->second.record(value);
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::ShardCell::counter_add(std::string_view name,
+                                             std::uint64_t delta) {
+  auto it = counters.find(name);
+  if (it == counters.end()) {
+    counters.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::ShardCell::gauge_max(std::string_view name,
+                                           std::int64_t value) {
+  auto it = gauge_maxes.find(name);
+  if (it == gauge_maxes.end()) {
+    gauge_maxes.emplace(std::string(name), value);
+  } else {
+    it->second = std::max(it->second, value);
+  }
+}
+
+void MetricsRegistry::ShardCell::histogram_record(std::string_view name,
+                                                  std::uint64_t value) {
+  auto it = histograms.find(name);
+  if (it == histograms.end()) {
+    it = histograms.emplace(std::string(name), HistogramStats{}).first;
+  }
+  it->second.record(value);
+}
+
+void MetricsRegistry::merge_cells(const std::vector<ShardCell>& cells) {
+  for (const ShardCell& cell : cells) {
+    for (const auto& [name, delta] : cell.counters) counter_add(name, delta);
+    for (const auto& [name, value] : cell.gauge_maxes) gauge_max(name, value);
+    for (const auto& [name, hist] : cell.histograms) {
+      auto it = histograms_.find(name);
+      if (it == histograms_.end()) {
+        it = histograms_.emplace(name, HistogramStats{}).first;
+      }
+      it->second.merge(hist);
+    }
+  }
+}
+
+// ---- TraceCollector --------------------------------------------------------
+
+void TraceCollector::sync_to(double total_rounds,
+                             std::uint64_t total_messages) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  clock_.rounds = std::max(clock_.rounds, total_rounds);
+  clock_.messages = std::max(clock_.messages, total_messages);
+}
+
+void TraceCollector::add_work(std::uint64_t units) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  clock_.work += units;
+}
+
+VirtualClock TraceCollector::clock() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return clock_;
+}
+
+std::int32_t TraceCollector::begin_span(std::string_view name,
+                                        std::string_view category) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return begin_span_locked(name, category);
+}
+
+std::int32_t TraceCollector::begin_span_locked(std::string_view name,
+                                               std::string_view category) {
+  TraceSpan span;
+  span.parent = open_stack_.empty() ? -1 : open_stack_.back();
+  span.depth = static_cast<std::int32_t>(open_stack_.size());
+  span.name = std::string(name);
+  span.category = std::string(category);
+  span.begin = clock_;
+  span.seq_begin = next_seq_++;
+  span.wall_ns_begin = telemetry_wallclock_now_ns();
+  const auto id = static_cast<std::int32_t>(spans_.size());
+  spans_.push_back(std::move(span));
+  open_stack_.push_back(id);
+  return id;
+}
+
+void TraceCollector::end_span(std::int32_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 0 || static_cast<std::size_t>(id) >= spans_.size()) return;
+  if (!spans_[static_cast<std::size_t>(id)].open) return;
+  // Defensively close anything opened after `id` (a guard that outlived a
+  // nested guard due to early return); well-formed instrumentation only
+  // ever pops the top.
+  while (!open_stack_.empty()) {
+    const std::int32_t top = open_stack_.back();
+    open_stack_.pop_back();
+    TraceSpan& span = spans_[static_cast<std::size_t>(top)];
+    span.end = clock_;
+    span.seq_end = next_seq_++;
+    span.wall_ns_end = telemetry_wallclock_now_ns();
+    span.open = false;
+    if (top == id) break;
+  }
+}
+
+void TraceCollector::instant(std::string_view name,
+                             std::string_view category) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TraceInstant event;
+  event.parent = open_stack_.empty() ? -1 : open_stack_.back();
+  event.name = std::string(name);
+  event.category = std::string(category);
+  event.at = clock_;
+  event.seq = next_seq_++;
+  instants_.push_back(std::move(event));
+}
+
+const TraceSpan* TraceCollector::find_span(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const TraceSpan& span : spans_) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+std::vector<const TraceSpan*> TraceCollector::find_spans(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const TraceSpan*> out;
+  for (const TraceSpan& span : spans_) {
+    if (span.name == name) out.push_back(&span);
+  }
+  return out;
+}
+
+void TraceCollector::write_chrome_trace(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const bool wall = telemetry_wallclock_enabled();
+  out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{"
+      << "\"schema\":\"dcl-chrome-trace\",\"virtual_time\":"
+      << "\"1 round = 1ms; sub-us digits are the event sequence\"},"
+      << "\"traceEvents\":[\n";
+  out << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+      << "\"args\":{\"name\":\"dcl\"}}";
+  out << ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\","
+      << "\"args\":{\"name\":\"virtual-time\"}}";
+  for (const TraceSpan& span : spans_) {
+    const double ts_begin = span.begin.rounds * 1000.0 +
+                            static_cast<double>(span.seq_begin) * 1e-3;
+    const double ts_end =
+        span.end.rounds * 1000.0 + static_cast<double>(span.seq_end) * 1e-3;
+    char dur_buf[64];
+    std::snprintf(dur_buf, sizeof(dur_buf), "%.3f",
+                  std::max(0.0, ts_end - ts_begin));
+    out << ",\n{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":"
+        << trace_ts(span.begin.rounds, span.seq_begin)
+        << ",\"dur\":" << dur_buf
+        << ",\"name\":" << json_string(span.name)
+        << ",\"cat\":" << json_string(span.category) << ",\"args\":{"
+        << "\"rounds\":[" << json_number(span.begin.rounds) << ','
+        << json_number(span.end.rounds) << "],\"messages\":["
+        << span.begin.messages << ',' << span.end.messages << "],\"work\":["
+        << span.begin.work << ',' << span.end.work << ']';
+    if (wall) {
+      out << ",\"wall_ns\":[" << span.wall_ns_begin << ',' << span.wall_ns_end
+          << ']';
+    }
+    out << "}}";
+  }
+  for (const TraceInstant& event : instants_) {
+    out << ",\n{\"ph\":\"i\",\"pid\":0,\"tid\":0,\"s\":\"t\",\"ts\":"
+        << trace_ts(event.at.rounds, event.seq)
+        << ",\"name\":" << json_string(event.name)
+        << ",\"cat\":" << json_string(event.category) << ",\"args\":{"
+        << "\"rounds\":" << json_number(event.at.rounds)
+        << ",\"messages\":" << event.at.messages
+        << ",\"work\":" << event.at.work << "}}";
+  }
+  out << "\n]}\n";
+}
+
+// ---- Active collector ------------------------------------------------------
+
+namespace {
+// Relaxed is enough: scope install/uninstall happens in sequential
+// orchestration code, and the worker pool's dispatch synchronization
+// orders the install before any shard body that could observe it.
+std::atomic<TraceCollector*> g_active_telemetry{nullptr};
+}  // namespace
+
+TraceCollector* active_telemetry() {
+  return g_active_telemetry.load(std::memory_order_relaxed);
+}
+
+TelemetryScope::TelemetryScope(TraceCollector& collector)
+    : previous_(g_active_telemetry.exchange(&collector,
+                                            std::memory_order_relaxed)) {}
+
+TelemetryScope::~TelemetryScope() {
+  g_active_telemetry.store(previous_, std::memory_order_relaxed);
+}
+
+// ---- Run report ------------------------------------------------------------
+
+void write_run_report(std::ostream& out, const TraceCollector& collector,
+                      const RoundLedger* ledger, std::string_view command) {
+  out << "{\n\"schema\":\"dcl-run-report\",\n\"version\":1,\n\"command\":"
+      << json_string(command) << ",\n";
+
+  out << "\"ledger\":";
+  if (ledger == nullptr) {
+    out << "null";
+  } else {
+    out << "{\"total_rounds\":" << json_number(ledger->total_rounds())
+        << ",\"total_messages\":" << ledger->total_messages()
+        << ",\"entries\":" << ledger->entries().size()
+        << ",\"rounds_by_kind\":{"
+        << "\"exchange\":"
+        << json_number(ledger->rounds_of_kind(CostKind::exchange))
+        << ",\"routing\":"
+        << json_number(ledger->rounds_of_kind(CostKind::routing))
+        << ",\"analytic\":"
+        << json_number(ledger->rounds_of_kind(CostKind::analytic))
+        << "},\"breakdown\":[";
+    bool first = true;
+    for (const RoundLedger::BreakdownRow& row : ledger->breakdown()) {
+      if (!first) out << ',';
+      first = false;
+      out << "\n{\"label\":" << json_string(row.label) << ",\"kind\":\""
+          << to_string(row.kind)
+          << "\",\"rounds\":" << json_number(row.rounds)
+          << ",\"messages\":" << row.messages << '}';
+    }
+    out << "],\"retry\":{\"retry_rounds\":"
+        << json_number(ledger->retry_rounds())
+        << ",\"retransmitted_messages\":" << ledger->retransmitted_messages()
+        << ",\"lost_messages\":" << ledger->lost_messages() << "}}";
+  }
+  out << ",\n";
+
+  const MetricsRegistry& metrics = collector.metrics();
+  out << "\"metrics\":{\"counters\":{";
+  {
+    bool first = true;
+    for (const auto& [name, value] : metrics.counters()) {
+      if (!first) out << ',';
+      first = false;
+      out << "\n" << json_string(name) << ':' << value;
+    }
+  }
+  out << "},\"gauges\":{";
+  {
+    bool first = true;
+    for (const auto& [name, value] : metrics.gauges()) {
+      if (!first) out << ',';
+      first = false;
+      out << "\n" << json_string(name) << ':' << value;
+    }
+  }
+  out << "},\"histograms\":{";
+  {
+    bool first = true;
+    for (const auto& [name, hist] : metrics.histograms()) {
+      if (!first) out << ',';
+      first = false;
+      out << "\n"
+          << json_string(name) << ":{\"count\":" << hist.count
+          << ",\"sum\":" << hist.sum << ",\"min\":" << hist.min
+          << ",\"max\":" << hist.max << ",\"buckets\":{";
+      bool first_bucket = true;
+      for (const auto& [bucket, n] : hist.buckets) {
+        if (!first_bucket) out << ',';
+        first_bucket = false;
+        out << '"' << bucket << "\":" << n;
+      }
+      out << "}}";
+    }
+  }
+  out << "}},\n";
+
+  const VirtualClock clock = collector.clock();
+  const std::vector<TraceSpan>& spans = collector.spans();
+  std::int32_t max_depth = 0;
+  for (const TraceSpan& span : spans) {
+    max_depth = std::max(max_depth, span.depth);
+  }
+  out << "\"trace\":{\"span_count\":" << spans.size()
+      << ",\"instant_count\":" << collector.instants().size()
+      << ",\"max_depth\":" << max_depth
+      << ",\"clock\":{\"rounds\":" << json_number(clock.rounds)
+      << ",\"messages\":" << clock.messages << ",\"work\":" << clock.work
+      << "},\"spans\":[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& span = spans[i];
+    if (i != 0) out << ',';
+    out << "\n{\"id\":" << i << ",\"parent\":" << span.parent
+        << ",\"depth\":" << span.depth
+        << ",\"name\":" << json_string(span.name)
+        << ",\"cat\":" << json_string(span.category) << ",\"rounds\":["
+        << json_number(span.begin.rounds) << ','
+        << json_number(span.end.rounds) << "],\"messages\":["
+        << span.begin.messages << ',' << span.end.messages << "],\"work\":["
+        << span.begin.work << ',' << span.end.work
+        << "],\"open\":" << (span.open ? "true" : "false") << '}';
+  }
+  out << "],\"instants\":[";
+  {
+    const std::vector<TraceInstant>& instants = collector.instants();
+    for (std::size_t i = 0; i < instants.size(); ++i) {
+      const TraceInstant& event = instants[i];
+      if (i != 0) out << ',';
+      out << "\n{\"parent\":" << event.parent
+          << ",\"name\":" << json_string(event.name)
+          << ",\"cat\":" << json_string(event.category)
+          << ",\"rounds\":" << json_number(event.at.rounds)
+          << ",\"messages\":" << event.at.messages
+          << ",\"work\":" << event.at.work << '}';
+    }
+  }
+  out << "]}\n}\n";
+}
+
+}  // namespace dcl

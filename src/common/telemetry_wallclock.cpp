@@ -1,0 +1,38 @@
+// Wall-clock overlay for the telemetry plane — the ONE translation unit in
+// src/ allowed to read a clock.
+//
+// dcl-lint: wallclock-overlay: Telemetry spans are coordinatized in
+// virtual time (ledger rounds/messages + work units) precisely so traces
+// are deterministic; but when a human is profiling the *simulator itself*
+// (not the simulated algorithm) a real-time overlay on the Chrome trace is
+// the difference between guessing and measuring. This TU confines that
+// overlay: it is dead unless DCL_TRACE_WALLCLOCK=1 is set in the
+// environment, its stamps decorate only the Chrome-trace `args` (never the
+// ts/dur timeline, never the RoundLedger, never the run report, never any
+// fingerprint), and the wallclock lint rule allowlists exactly this file —
+// a clock read anywhere else in src/ still fails the lint
+// (docs/OBSERVABILITY.md, "Wall-clock policy").
+#include "common/telemetry.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace dcl {
+
+bool telemetry_wallclock_enabled() {
+  static const bool enabled = [] {
+    const char* value = std::getenv("DCL_TRACE_WALLCLOCK");
+    return value != nullptr && value[0] == '1' && value[1] == '\0';
+  }();
+  return enabled;
+}
+
+std::uint64_t telemetry_wallclock_now_ns() {
+  if (!telemetry_wallclock_enabled()) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace dcl

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/math_util.h"
+#include "common/telemetry.h"
 
 namespace dcl {
 
@@ -33,6 +34,11 @@ void CliqueNetwork::begin_phase(std::string label) {
   touched_senders_.clear();
   touched_receivers_.clear();
   arena_.invalidate();
+  phase_span_ = -1;
+  if (TraceCollector* telemetry = active_telemetry()) {
+    telemetry->sync_to(ledger_.total_rounds(), ledger_.total_messages());
+    phase_span_ = telemetry->begin_span(phase_label_, "clique-phase");
+  }
 }
 
 void CliqueNetwork::send(NodeId from, NodeId to, const Message& msg) {
@@ -98,6 +104,16 @@ std::int64_t CliqueNetwork::end_phase() {
   }
   ledger_.charge_exchange(phase_label_, static_cast<double>(rounds),
                           queue_.size());
+  if (TraceCollector* telemetry = active_telemetry()) {
+    telemetry->sync_to(ledger_.total_rounds(), ledger_.total_messages());
+    MetricsRegistry& metrics = telemetry->metrics();
+    metrics.counter_add("clique.phases", 1);
+    metrics.counter_add("clique.messages", queue_.size());
+    metrics.gauge_max("clique.arena_hwm",
+                      static_cast<std::int64_t>(arena_.delivered_count()));
+    telemetry->end_span(phase_span_);
+    phase_span_ = -1;
+  }
   queue_.clear();
   return rounds;
 }

@@ -78,6 +78,9 @@ class CliqueNetwork {
   std::vector<NodeId> touched_senders_;
   std::vector<NodeId> touched_receivers_;
   DeliveryArena arena_;
+  // Telemetry span of the currently open phase (-1 when telemetry is off
+  // or no phase is open).
+  std::int32_t phase_span_ = -1;
 };
 
 }  // namespace dcl

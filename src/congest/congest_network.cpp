@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/telemetry.h"
+
 namespace dcl {
 
 CongestNetwork::CongestNetwork(const Graph& g) : g_(&g) {
@@ -18,6 +20,11 @@ void CongestNetwork::begin_phase(std::string label) {
   phase_open_ = true;
   queue_.clear();
   arena_.invalidate();
+  phase_span_ = -1;
+  if (TraceCollector* telemetry = active_telemetry()) {
+    telemetry->sync_to(ledger_.total_rounds(), ledger_.total_messages());
+    phase_span_ = telemetry->begin_span(phase_label_, "congest-phase");
+  }
 }
 
 void CongestNetwork::send(NodeId from, NodeId to, const Message& msg) {
@@ -90,6 +97,16 @@ std::int64_t CongestNetwork::end_phase() {
     rounds += retry_rounds;
   } else {
     arena_.deliver(queue_);
+  }
+  if (TraceCollector* telemetry = active_telemetry()) {
+    telemetry->sync_to(ledger_.total_rounds(), ledger_.total_messages());
+    MetricsRegistry& metrics = telemetry->metrics();
+    metrics.counter_add("congest.phases", 1);
+    metrics.counter_add("congest.messages", queue_.size());
+    metrics.gauge_max("congest.arena_hwm",
+                      static_cast<std::int64_t>(arena_.delivered_count()));
+    telemetry->end_span(phase_span_);
+    phase_span_ = -1;
   }
   queue_.clear();
   return rounds;

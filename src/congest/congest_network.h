@@ -93,6 +93,10 @@ class CongestNetwork {
   std::int64_t fault_clock_ = 0;
   std::uint64_t lost_messages_ = 0;
   std::vector<QueuedMessage> surviving_;  ///< scratch for faulted phases
+  // Telemetry span of the currently open phase (-1 when telemetry is off
+  // or no phase is open); phases are strictly begin/end bracketed, so the
+  // span nests under whatever pipeline span is open.
+  std::int32_t phase_span_ = -1;
 };
 
 }  // namespace dcl

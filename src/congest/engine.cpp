@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/telemetry.h"
 #include "congest/delivery_arena.h"
 
 namespace dcl {
@@ -53,6 +54,11 @@ CongestEngine::CongestEngine(const Graph& g, const ProgramFactory& factory)
 }
 
 std::int64_t CongestEngine::run(std::int64_t max_rounds) {
+  // Telemetry: one span per engine run; the round loop below is sequential
+  // by construction, so the per-round arena high-water gauge is exact.
+  TraceCollector* const telemetry = active_telemetry();
+  SpanGuard run_span(telemetry, "engine-run", "congest");
+  std::int64_t arena_hwm = 0;
   const NodeId n = g_->node_count();
   std::vector<RoundApi> apis;
   apis.reserve(static_cast<std::size_t>(n));
@@ -140,6 +146,8 @@ std::int64_t CongestEngine::run(std::int64_t max_rounds) {
     // Collection order is (sender, send order); the counting-sort pass by
     // recipient keeps each inbox sorted by sender, as before.
     arena.deliver_grouped_by_sender(round_queue);
+    arena_hwm =
+        std::max(arena_hwm, static_cast<std::int64_t>(round_queue.size()));
     if (!round_queue.empty()) last_progress = round;
 
     bool any_active = false;
@@ -180,6 +188,16 @@ std::int64_t CongestEngine::run(std::int64_t max_rounds) {
   if (lost > 0) {
     lost_messages_ += lost;
     ledger_.note_lost(lost);
+  }
+  if (telemetry != nullptr) {
+    run_span.sync_to(ledger_.total_rounds(), ledger_.total_messages());
+    MetricsRegistry& metrics = telemetry->metrics();
+    metrics.counter_add("engine.runs", 1);
+    metrics.counter_add("engine.rounds", static_cast<std::uint64_t>(round));
+    metrics.counter_add("engine.messages", messages);
+    metrics.counter_add("engine.retransmitted", retransmitted);
+    metrics.counter_add("engine.lost", lost);
+    metrics.gauge_max("engine.arena_hwm", arena_hwm);
   }
   return round;
 }

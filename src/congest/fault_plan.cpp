@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/telemetry.h"
+
 namespace dcl {
 
 namespace {
@@ -322,6 +324,11 @@ std::vector<NodeId> FaultSession::detect_crashes(NodeId n) {
     }
   }
   std::sort(newly.begin(), newly.end());
+  if (!newly.empty()) {
+    if (TraceCollector* telemetry = active_telemetry()) {
+      telemetry->metrics().counter_add("fault.crashes_detected", newly.size());
+    }
+  }
   return newly;
 }
 
@@ -332,6 +339,9 @@ void FaultSession::charge_crash_timeout(RoundLedger& ledger,
   // survivors notice the silence concurrently on every edge.
   ledger.charge_exchange("crash-detect-timeout", 1.0, 0);
   ++crash_timeouts;
+  if (TraceCollector* telemetry = active_telemetry()) {
+    telemetry->metrics().counter_add("fault.crash_timeout_rounds", 1);
+  }
 }
 
 std::uint64_t FaultSession::inject(RoundLedger& ledger,
@@ -354,6 +364,13 @@ std::uint64_t FaultSession::inject(RoundLedger& ledger,
     // resend path: one extra timeout-triggered phase re-carrying the lost
     // messages. Output stays exact; the degradation is this charged cost.
     ledger.charge_exchange(label + " [resend]", 1.0, pf.lost);
+  }
+  if (TraceCollector* telemetry = active_telemetry()) {
+    MetricsRegistry& metrics = telemetry->metrics();
+    metrics.counter_add("fault.retry_rounds",
+                        static_cast<std::uint64_t>(pf.retry_rounds));
+    metrics.counter_add("fault.retransmitted", pf.retransmitted);
+    metrics.counter_add("fault.lost", pf.lost);
   }
   return pf.lost;
 }

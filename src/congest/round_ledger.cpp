@@ -1,7 +1,9 @@
 #include "congest/round_ledger.h"
 
+#include <algorithm>
 #include <iomanip>
 #include <ostream>
+#include <utility>
 
 namespace dcl {
 
@@ -43,6 +45,23 @@ std::map<std::string, double> RoundLedger::rounds_by_label() const {
   return by_label;
 }
 
+std::vector<RoundLedger::BreakdownRow> RoundLedger::breakdown() const {
+  std::map<std::pair<std::string, int>, BreakdownRow> rows;
+  for (const auto& e : entries_) {
+    BreakdownRow& row = rows[{e.label, static_cast<int>(e.kind)}];
+    if (row.label.empty()) {
+      row.label = e.label;
+      row.kind = e.kind;
+    }
+    row.rounds += e.rounds;
+    row.messages += e.messages;
+  }
+  std::vector<BreakdownRow> out;
+  out.reserve(rows.size());
+  for (auto& [key, row] : rows) out.push_back(std::move(row));
+  return out;
+}
+
 void RoundLedger::merge(const RoundLedger& other) {
   entries_.insert(entries_.end(), other.entries_.begin(),
                   other.entries_.end());
@@ -64,6 +83,35 @@ void RoundLedger::print_breakdown(std::ostream& out) const {
         << " retry rounds, " << retransmitted_messages_ << " retransmitted, "
         << lost_messages_ << " lost\n";
   }
+}
+
+void RoundLedger::print_audited(std::ostream& out) const {
+  const std::vector<BreakdownRow> rows = breakdown();
+  std::size_t label_width = 24;
+  for (const auto& row : rows) {
+    label_width = std::max(label_width, row.label.size());
+  }
+  const std::ios_base::fmtflags flags = out.flags();
+  const std::streamsize precision = out.precision();
+  out << "round ledger: total=" << std::fixed << std::setprecision(1)
+      << total_rounds() << " rounds, " << total_messages() << " messages\n";
+  out << "  " << std::left << std::setw(static_cast<int>(label_width))
+      << "phase" << "  " << std::setw(8) << "kind" << std::right
+      << std::setw(12) << "rounds" << std::setw(14) << "messages" << '\n';
+  for (const auto& row : rows) {
+    out << "  " << std::left << std::setw(static_cast<int>(label_width))
+        << row.label << "  " << std::setw(8) << to_string(row.kind)
+        << std::right << std::setw(12) << std::setprecision(1) << row.rounds
+        << std::setw(14) << row.messages << '\n';
+  }
+  if (retry_rounds_ > 0.0 || retransmitted_messages_ > 0 ||
+      lost_messages_ > 0) {
+    out << "  recovery: " << std::setprecision(1) << retry_rounds_
+        << " retry rounds, " << retransmitted_messages_ << " retransmitted, "
+        << lost_messages_ << " lost\n";
+  }
+  out.flags(flags);
+  out.precision(precision);
 }
 
 }  // namespace dcl

@@ -73,12 +73,34 @@ class RoundLedger {
   const std::vector<CostEntry>& entries() const { return entries_; }
 
   /// Rounds aggregated by label (phases repeat across iterations).
+  /// NOTE: this view folds entries of *different kinds* that share a label
+  /// into one number — use `breakdown()` when the exchange/routing/analytic
+  /// split matters (it does for the audited printout and the run report).
   std::map<std::string, double> rounds_by_label() const;
+
+  /// One (label, kind) aggregate of the audited breakdown.
+  struct BreakdownRow {
+    std::string label;
+    CostKind kind = CostKind::exchange;
+    double rounds = 0.0;
+    std::uint64_t messages = 0;
+  };
+  /// Entries aggregated by (label, kind), sorted by (label, kind): unlike
+  /// `rounds_by_label`, a label that repeats across kinds (e.g. an
+  /// analytic estimate later re-charged as a measured exchange) keeps one
+  /// row per kind, and messages ride along.
+  std::vector<BreakdownRow> breakdown() const;
 
   /// Appends all entries of `other`.
   void merge(const RoundLedger& other);
 
   void print_breakdown(std::ostream& out) const;
+
+  /// The audited (label, kind) breakdown with messages, label column sized
+  /// to the longest label (print_breakdown's fixed setw(42) truncates the
+  /// alignment for long phase labels) and stream format flags restored on
+  /// exit instead of leaking std::fixed into the caller's stream.
+  void print_audited(std::ostream& out) const;
 
  private:
   std::vector<CostEntry> entries_;

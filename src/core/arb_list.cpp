@@ -6,6 +6,7 @@
 
 #include "common/math_util.h"
 #include "common/parallel_for.h"
+#include "common/telemetry.h"
 #include "core/broadcast_listing.h"
 #include "core/in_cluster_listing.h"
 #include "routing/cluster_router.h"
@@ -165,11 +166,35 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
     }
   };
 
+  // Telemetry: one span per ARB-LIST step, coordinatized by the cumulative
+  // ledger totals (virtual time). Spans begin/end only in this sequential
+  // orchestration code — never inside a shard body — so the span tree is
+  // identical at any DCL_THREADS; shard bodies record into per-shard
+  // metric cells merged in shard order below.
+  TraceCollector* const telemetry = active_telemetry();
+  auto sync_telemetry = [&] {
+    if (telemetry != nullptr) {
+      telemetry->sync_to(ctx.ledger->total_rounds(),
+                         ctx.ledger->total_messages());
+    }
+  };
+  auto begin_step = [&](const char* name) {
+    if (telemetry == nullptr) return std::int32_t{-1};
+    sync_telemetry();
+    return telemetry->begin_span(name, "arb");
+  };
+  auto end_step = [&](std::int32_t id) {
+    if (telemetry == nullptr) return;
+    sync_telemetry();
+    telemetry->end_span(id);
+  };
+
   ArbIterationTrace trace;
   trace.er_before = er.count();
   if (trace.er_before == 0) return trace;
 
   // ---- Step 1: expander decomposition of (V, Er) (Theorem 2.3). ----------
+  const std::int32_t decompose_span = begin_step("arb/decompose");
   std::vector<Edge> er_edges;
   std::vector<EdgeId> sub_to_base;
   er_edges.reserve(static_cast<std::size_t>(trace.er_before));
@@ -209,6 +234,7 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
     }
   }
   trace.clusters = static_cast<std::int64_t>(deco.clusters.size());
+  end_step(decompose_span);
 
   if (deco.clusters.empty()) {
     trace.er_after = er.count();
@@ -229,6 +255,7 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   // v then knows g_{v,C} for each adjacent cluster C. Built sharded into
   // the flat CSR table; the announce message count is the sum of all
   // per-cluster counts (one message per cross-cluster adjacency).
+  const std::int32_t announce_span = begin_step("arb/cluster-announce");
   const ClusterNeighborTable cluster_neighbors =
       build_cluster_neighbors(n, view, cluster_of);
   std::uint64_t announce_msgs = 0;
@@ -236,6 +263,7 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
     announce_msgs += static_cast<std::uint64_t>(count);
   }
   charge_phase("cluster-announce", 1.0, announce_msgs);
+  end_step(announce_span);
 
   // Heavy threshold: n^{1/4} in the general algorithm (Section 2.4.1),
   // A / n^{1/3} in k4_fast mode (Section 3).
@@ -257,6 +285,7 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   // ---- Step 2b: heavy nodes ship their outgoing edges into the cluster. --
   // v sends its ≤ A outgoing edges in round-robin chunks across its
   // C-neighbors; per-edge congestion is the chunk size.
+  const std::int32_t heavy_span = begin_step("arb/heavy-edges");
   std::vector<std::vector<KnownEdge>> learned(static_cast<std::size_t>(n));
   std::int64_t heavy_phase_load = 0;
   std::uint64_t heavy_msgs = 0;
@@ -290,8 +319,10 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   }
   charge_phase("heavy-edge-shipping", static_cast<double>(heavy_phase_load),
                heavy_msgs);
+  end_step(heavy_span);
 
   // ---- Step 3: light-status exchange, bad nodes, bad edges. ---------------
+  const std::int32_t status_span = begin_step("arb/light-status");
   // One round: every outside node tells its cluster neighbors whether it is
   // C-light; u ∈ C then knows u_light. Sharded over u: ulight slots are
   // disjoint and the message count is an exact integer sum over shards.
@@ -315,6 +346,7 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   std::uint64_t status_msgs = 0;
   for (const std::uint64_t msgs : shard_status_msgs) status_msgs += msgs;
   charge_phase("light-status", 1.0, status_msgs);
+  end_step(status_span);
 
   const std::int64_t bad_threshold = std::max<std::int64_t>(
       1, static_cast<std::int64_t>(std::ceil(
@@ -352,6 +384,7 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   // answer with the sublist they are adjacent to. Each exchange is charged
   // its exact per-directed-edge congestion.
   if (!cfg.k4_fast) {
+    const std::int32_t light_span = begin_step("arb/light-lists");
     // Sharded over u: each u writes only learned[u] (its own slot, in its
     // own iteration order), the `mark` scratch is per-shard, and the loads
     // merge by exact max / integer sum — all independent of interleaving.
@@ -423,6 +456,7 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
     charge_phase("light-list-response",
                  static_cast<double>(total.response_load),
                  total.response_msgs);
+    end_step(light_span);
   }
 
   // ---- Fault plane: mid-call crash handling. ------------------------------
@@ -538,6 +572,7 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   // (= ascending cluster / item) order — every fingerprint is
   // bit-identical at any DCL_THREADS (tests/test_parallel_for.cpp,
   // tests/test_single_cluster_sharding.cpp).
+  const std::int32_t plan_span = begin_step("arb/tail-plan");
   const auto new_id = assign_cluster_ids(deco.clusters, n, *ctx.ledger);
   std::vector<Rng> cluster_rngs = ctx.rng->split_n(deco.clusters.size());
 
@@ -756,6 +791,7 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
           std::max(trace.max_learned_edges, replan.max_learned_edges);
     }
   }
+  end_step(plan_span);
 
   // ---- Phase B: flattened weighted enumeration. ---------------------------
   // Every plan's representative list is cut into work items of roughly
@@ -812,6 +848,15 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   trace.tail_work_items = static_cast<std::int64_t>(items.size());
   trace.tail_est_work_total = est_total;
 
+  // Telemetry span for the enumeration tail. Its work-unit delta is
+  // `est_total` — the same 64-bit quantity trace.tail_shard_work sums to —
+  // added once from this sequential code, so one source of truth feeds
+  // both views and the span is identical at any DCL_THREADS (the inline
+  // fast path already enumerated during Phase A, but the work *accounting*
+  // is a pure function of the plans and lands here in every mode).
+  const std::int32_t enumerate_span = begin_step("arb/tail-enumerate");
+  if (telemetry != nullptr) telemetry->add_work(est_total);
+
   const int tail_shards = weighted_shard_count(
       est_total, static_cast<std::int64_t>(items.size()),
       kTailEnumGrainWeight);
@@ -820,14 +865,26 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
     in_cluster_enumerate(plans[item.cluster], item.rep_begin, item.rep_end,
                          sink);
   };
-  if (inline_tail) {
-    // Already enumerated cluster-by-cluster above; just record the trace.
-    trace.tail_shard_work.assign(1, est_total);
-  } else if (tail_shards <= 1) {
-    // Sequential fast path: report straight into the global collector, no
-    // buffer merge.
-    trace.tail_shard_work.assign(1, est_total);
-    for (const TailItem& item : items) enumerate_item(item, *ctx.out);
+  if (inline_tail || tail_shards <= 1) {
+    if (inline_tail) {
+      // Already enumerated cluster-by-cluster above; just record the trace.
+      trace.tail_shard_work.assign(1, est_total);
+    } else {
+      // Sequential fast path: report straight into the global collector, no
+      // buffer merge.
+      trace.tail_shard_work.assign(1, est_total);
+      for (const TailItem& item : items) enumerate_item(item, *ctx.out);
+    }
+    // Sequential paths record the per-item metrics directly; values match
+    // the sharded path's merged cells exactly (histogram folds are
+    // commutative integer adds).
+    if (telemetry != nullptr) {
+      MetricsRegistry& metrics = telemetry->metrics();
+      for (const std::uint64_t w : item_weight) {
+        metrics.counter_add("arb.tail.enumerated_items", 1);
+        metrics.histogram_record("arb.tail.item_est_work", w);
+      }
+    }
   } else {
     trace.tail_shard_work.assign(static_cast<std::size_t>(tail_shards), 0);
     std::vector<ListingOutput> shard_out;
@@ -839,6 +896,13 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
       // duplication factor the global collector has already observed.
       shard_out.back().set_duplication_hint(dup_hint);
     }
+    // Per-shard metric cells: shard bodies write only their own cell; the
+    // calling thread folds them back in shard order right after the
+    // listing-output merge (the parallel_for_shards merge contract).
+    std::vector<MetricsRegistry::ShardCell> tail_cells;
+    if (telemetry != nullptr) {
+      tail_cells.resize(static_cast<std::size_t>(tail_shards));
+    }
     parallel_for_weighted_shards(
         item_weight,
         [&](int shard, std::int64_t lo, std::int64_t hi) {
@@ -847,13 +911,21 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
                            shard_out[static_cast<std::size_t>(shard)]);
             trace.tail_shard_work[static_cast<std::size_t>(shard)] +=
                 item_weight[static_cast<std::size_t>(i)];
+            if (telemetry != nullptr) {
+              auto& cell = tail_cells[static_cast<std::size_t>(shard)];
+              cell.counter_add("arb.tail.enumerated_items", 1);
+              cell.histogram_record("arb.tail.item_est_work",
+                                    item_weight[static_cast<std::size_t>(i)]);
+            }
           }
         },
         kTailEnumGrainWeight);
     for (int s = 0; s < tail_shards; ++s) {
       ctx.out->merge_from(shard_out[static_cast<std::size_t>(s)]);
     }
+    if (telemetry != nullptr) telemetry->metrics().merge_cells(tail_cells);
   }
+  end_step(enumerate_span);
 
   // ---- Fault plane: broadcast fallback for decimated clusters. -----------
   // A cluster that lost too many members cannot run the Theorem 2.4
@@ -873,10 +945,16 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
     fargs.label = "crash-fallback-broadcast";
     broadcast_listing(fargs, *ctx.ledger, *ctx.out);
     if (ctx.crash_degraded != nullptr) *ctx.crash_degraded = true;
+    if (telemetry != nullptr) {
+      sync_telemetry();
+      telemetry->instant("crash-fallback-broadcast", "arb");
+      telemetry->metrics().counter_add("arb.crash_fallbacks", 1);
+    }
   }
 
   // ---- Step 6 (k4_fast): sequential per-cluster C-light probing. ---------
   if (cfg.k4_fast) {
+    const std::int32_t probe_span = begin_step("arb/k4-light-probe");
     std::int64_t probe_rounds = 0;
     std::uint64_t probe_msgs = 0;
     std::vector<bool> mark(static_cast<std::size_t>(n), false);
@@ -922,10 +1000,39 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
     }
     charge_phase("k4-light-probe", static_cast<double>(probe_rounds),
                  probe_msgs);
+    end_step(probe_span);
   }
 
   trace.er_after = er.count();
   trace.es_total = es.count();
+  if (telemetry != nullptr) {
+    sync_telemetry();
+    MetricsRegistry& metrics = telemetry->metrics();
+    metrics.counter_add("arb.iterations", 1);
+    metrics.counter_add("arb.clusters",
+                        static_cast<std::uint64_t>(trace.clusters));
+    metrics.counter_add("arb.goal_edges",
+                        static_cast<std::uint64_t>(trace.goal_edges));
+    metrics.counter_add("arb.bad_edges",
+                        static_cast<std::uint64_t>(trace.bad_edges));
+    metrics.counter_add("arb.heavy_relationships",
+                        static_cast<std::uint64_t>(trace.heavy_relationships));
+    metrics.counter_add("arb.tail.items",
+                        static_cast<std::uint64_t>(trace.tail_work_items));
+    metrics.counter_add("arb.tail.est_work", est_total);
+    // NB: the tail shard count is a host execution detail (it tracks
+    // DCL_THREADS), so it deliberately stays OUT of the metrics — the run
+    // report must be bit-identical at any thread count.
+    metrics.gauge_max("arb.max_learned_edges", trace.max_learned_edges);
+    // CliqueSet load/displacement after this iteration's inserts: the
+    // robin-hood table's fill and worst probe distance, straight from the
+    // global collector.
+    metrics.gauge_set("cliqueset.size",
+                      static_cast<std::int64_t>(ctx.out->cliques().size()));
+    metrics.gauge_max(
+        "cliqueset.max_displacement",
+        static_cast<std::int64_t>(ctx.out->cliques().max_displacement()));
+  }
   return trace;
 }
 

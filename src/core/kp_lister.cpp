@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "common/telemetry.h"
 #include "core/arb_list.h"
 #include "core/broadcast_listing.h"
 #include "graph/orientation.h"
@@ -52,6 +53,9 @@ ListOutcome run_list_procedure(const Graph& base, const KpConfig& cfg,
 
   for (int iter = 0; iter < cfg.max_arb_iterations; ++iter) {
     if (er.none()) break;
+    // Telemetry span per ARB-LIST iteration; coordinates come from the run
+    // ledger's cumulative totals, so they are identical at any DCL_THREADS.
+    SpanGuard arb_span(active_telemetry(), "arb-iteration", "core");
     ArbListContext ctx;
     ctx.base = &base;
     ctx.ledger = &ledger;
@@ -70,6 +74,7 @@ ListOutcome run_list_procedure(const Graph& base, const KpConfig& cfg,
     trace.list_iteration = list_iteration;
     trace.arb_iteration = iter;
     trace.rounds = ledger.total_rounds() - rounds_before;
+    arb_span.sync_to(ledger.total_rounds(), ledger.total_messages());
     arb_traces.push_back(trace);
     ++outcome.arb_iterations;
 
@@ -90,6 +95,11 @@ ListOutcome run_list_procedure(const Graph& base, const KpConfig& cfg,
       const auto stats = broadcast_listing(args, ledger, out);
       if (faults != nullptr) {
         faults->inject(ledger, "list-fallback-broadcast", stats.messages);
+      }
+      arb_span.sync_to(ledger.total_rounds(), ledger.total_messages());
+      if (TraceCollector* telemetry = arb_span.collector()) {
+        telemetry->instant("list-fallback-broadcast", "core");
+        telemetry->metrics().counter_add("list.fallbacks", 1);
       }
       er.fill(false);
       outcome.used_fallback = true;
@@ -114,6 +124,11 @@ ListOutcome run_list_procedure(const Graph& base, const KpConfig& cfg,
     if (faults != nullptr) {
       faults->inject(ledger, "list-fallback-broadcast", stats.messages);
     }
+    if (TraceCollector* telemetry = active_telemetry()) {
+      telemetry->sync_to(ledger.total_rounds(), ledger.total_messages());
+      telemetry->instant("list-fallback-broadcast", "core");
+      telemetry->metrics().counter_add("list.fallbacks", 1);
+    }
     outcome.used_fallback = true;
   }
   current = std::move(es);
@@ -131,6 +146,9 @@ KpListResult list_kp_collect(const Graph& g, const KpConfig& cfg,
   KpListResult result;
   const NodeId n = g.node_count();
   if (n == 0 || g.edge_count() == 0) return result;
+
+  TraceCollector* const telemetry = active_telemetry();
+  SpanGuard run_span(telemetry, "list-kp", "core");
 
   // Fault plane: one session per run threads the logical phase clock, the
   // detected-crash set, and the loss tally through the whole pipeline.
@@ -166,6 +184,7 @@ KpListResult list_kp_collect(const Graph& g, const KpConfig& cfg,
   int list_iteration = 0;
   while (arboricity_bound > stop_bound && current.any() &&
          list_iteration < 64) {
+    SpanGuard iter_span(telemetry, "list-iteration", "core");
     ListIterationTrace trace;
     trace.list_iteration = list_iteration;
     trace.arboricity_bound_before = arboricity_bound;
@@ -187,6 +206,11 @@ KpListResult list_kp_collect(const Graph& g, const KpConfig& cfg,
     trace.arboricity_bound_after = new_bound;
     trace.edges_after = current.count();
     trace.rounds = result.ledger.total_rounds() - rounds_before;
+    iter_span.sync_to(result.ledger.total_rounds(),
+                      result.ledger.total_messages());
+    if (telemetry != nullptr) {
+      telemetry->metrics().counter_add("list.iterations", 1);
+    }
     result.list_traces.push_back(trace);
     ++list_iteration;
     if (new_bound >= arboricity_bound) break;  // no progress; final stage
@@ -211,16 +235,21 @@ KpListResult list_kp_collect(const Graph& g, const KpConfig& cfg,
       for (const EdgeId e : doomed) current.set(e, false);
     }
   }
-  BroadcastListingArgs args;
-  args.base = &g;
-  args.current = &current;
-  args.away = &away;
-  args.p = cfg.p;
-  args.mode = BroadcastMode::out_edges;
-  args.label = "final-broadcast";
-  const auto final_stats = broadcast_listing(args, result.ledger, out);
-  if (faults != nullptr) {
-    faults->inject(result.ledger, "final-broadcast", final_stats.messages);
+  {
+    SpanGuard final_span(telemetry, "final-broadcast", "core");
+    BroadcastListingArgs args;
+    args.base = &g;
+    args.current = &current;
+    args.away = &away;
+    args.p = cfg.p;
+    args.mode = BroadcastMode::out_edges;
+    args.label = "final-broadcast";
+    const auto final_stats = broadcast_listing(args, result.ledger, out);
+    if (faults != nullptr) {
+      faults->inject(result.ledger, "final-broadcast", final_stats.messages);
+    }
+    final_span.sync_to(result.ledger.total_rounds(),
+                       result.ledger.total_messages());
   }
 
   result.unique_cliques = out.unique_count();
@@ -232,6 +261,18 @@ KpListResult list_kp_collect(const Graph& g, const KpConfig& cfg,
     for (NodeId v = 0; v < n; ++v) {
       if (faults->is_dead(v)) result.crashed_nodes.push_back(v);
     }
+  }
+  if (telemetry != nullptr) {
+    run_span.sync_to(result.ledger.total_rounds(),
+                     result.ledger.total_messages());
+    MetricsRegistry& metrics = telemetry->metrics();
+    metrics.counter_add("list.arb_iterations", result.arb_traces.size());
+    metrics.gauge_set("list.unique_cliques",
+                      static_cast<std::int64_t>(result.unique_cliques));
+    metrics.gauge_set("list.total_reports",
+                      static_cast<std::int64_t>(result.total_reports));
+    metrics.gauge_set("list.crashed_nodes",
+                      static_cast<std::int64_t>(result.crashed_nodes.size()));
   }
   return result;
 }

@@ -9,6 +9,7 @@
 #include "common/math_util.h"
 #include "common/parallel_for.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "core/part_tables.h"
 #include "enumeration/clique_enumeration.h"
 #include "graph/orientation.h"
@@ -31,6 +32,21 @@ SparseCcResult sparse_cc_list(const Graph& g, const SparseCcConfig& cfg,
   SparseCcResult result;
   const NodeId n = g.node_count();
   if (n < 2) return result;
+  // Telemetry: one span over the whole sparse CONGESTED-CLIQUE pipeline;
+  // its virtual-time extent is synced from the clique ledger at each exit.
+  TraceCollector* const telemetry = active_telemetry();
+  SpanGuard cc_span(telemetry, "sparse-cc", "core");
+  auto record_cc_metrics = [&](const RoundLedger& ledger) {
+    if (telemetry == nullptr) return;
+    cc_span.sync_to(ledger.total_rounds(), ledger.total_messages());
+    MetricsRegistry& metrics = telemetry->metrics();
+    metrics.counter_add("sparsecc.runs", 1);
+    metrics.counter_add("sparsecc.fake_edges",
+                        static_cast<std::uint64_t>(result.fake_edges));
+    metrics.gauge_max("sparsecc.parts", result.parts);
+    metrics.gauge_max("sparsecc.max_pair_bucket", result.max_pair_bucket);
+    metrics.gauge_max("sparsecc.max_recv_load", result.max_recv_load);
+  };
   Rng rng(cfg.seed);
 
   const int p = cfg.p;
@@ -206,6 +222,7 @@ SparseCcResult sparse_cc_list(const Graph& g, const SparseCcConfig& cfg,
   if (!cfg.perform_listing) {
     result.ledger = net.ledger();
     result.lost_messages = result.ledger.lost_messages();
+    record_cc_metrics(result.ledger);
     return result;
   }
 
@@ -261,6 +278,7 @@ SparseCcResult sparse_cc_list(const Graph& g, const SparseCcConfig& cfg,
   result.lost_messages = result.ledger.lost_messages();
   result.unique_cliques = out.unique_count();
   result.total_reports = out.total_reports();
+  record_cc_metrics(result.ledger);
   return result;
 }
 

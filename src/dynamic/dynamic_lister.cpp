@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/telemetry.h"
+
 namespace dcl {
 
 namespace {
@@ -35,6 +37,11 @@ DynamicLister::DynamicLister(const Graph& seed, int p)
 }
 
 ListingDelta DynamicLister::apply(const UpdateBatch& batch) {
+  // Telemetry: one span per maintenance batch. The dynamic structure is
+  // purely local (no ledger), so the span's virtual-time extent is its work
+  // units: the number of edge updates actually applied.
+  TraceCollector* const telemetry = active_telemetry();
+  SpanGuard batch_span(telemetry, "dynamic-batch", "dynamic");
   stats_ = DynamicBatchStats{};
   CliqueSet batch_added;
   CliqueSet batch_removed;
@@ -88,6 +95,22 @@ ListingDelta DynamicLister::apply(const UpdateBatch& batch) {
   stats_.clique_count = cliques_.size();
   stats_.fingerprint = cliques_.fingerprint();
   stats_.arboricity_witness = orientation_.max_out_degree();
+  if (telemetry != nullptr) {
+    batch_span.add_work(stats_.erased_edges + stats_.inserted_edges);
+    MetricsRegistry& metrics = telemetry->metrics();
+    metrics.counter_add("dynamic.batches", 1);
+    metrics.counter_add("dynamic.inserted_edges", stats_.inserted_edges);
+    metrics.counter_add("dynamic.erased_edges", stats_.erased_edges);
+    metrics.counter_add("dynamic.skipped_inserts", stats_.skipped_inserts);
+    metrics.counter_add("dynamic.skipped_erases", stats_.skipped_erases);
+    metrics.counter_add("dynamic.cliques_added", stats_.cliques_added);
+    metrics.counter_add("dynamic.cliques_removed", stats_.cliques_removed);
+    metrics.counter_add("dynamic.orientation_flips", stats_.orientation_flips);
+    metrics.gauge_set("dynamic.clique_count",
+                      static_cast<std::int64_t>(stats_.clique_count));
+    metrics.gauge_max("dynamic.arboricity_witness",
+                      static_cast<std::int64_t>(stats_.arboricity_witness));
+  }
 
   ListingDelta delta;
   delta.added = batch_added.to_vector();

@@ -1,0 +1,24 @@
+// Fixture: this file IS on the wallclock-overlay allowlist
+// (WALLCLOCK_OVERLAY_TUS in tools/dcl_lint.py) but carries no
+// `dcl-lint: wallclock-overlay:` justification marker, so every clock
+// read below must still be flagged — being allowlisted without a written
+// justification buys nothing. Never compiled (see README.md).
+#include <chrono>
+
+namespace dcl {
+
+unsigned long long unjustified_overlay_stamp() {
+  auto now = std::chrono::steady_clock::now();  // dcl-lint-expect: wallclock
+  return static_cast<unsigned long long>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          now.time_since_epoch())
+          .count());
+}
+
+long long unjustified_overlay_seconds() {
+  return std::chrono::system_clock::now()  // dcl-lint-expect: wallclock
+      .time_since_epoch()
+      .count();
+}
+
+}  // namespace dcl

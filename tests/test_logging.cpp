@@ -1,0 +1,111 @@
+// Regression tests for the locked log sink (src/common/logging.cpp):
+// shard bodies logging under DCL_THREADS > 1 must emit whole lines (the
+// per-line buffer is written to stderr under one lock, so lines cannot
+// interleave mid-write), and info+ lines are routed into the active
+// telemetry collector as instant events.
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel_for.h"
+#include "common/telemetry.h"
+
+namespace dcl {
+namespace {
+
+/// Redirects std::cerr into a buffer for the scope, restoring on exit.
+class CerrCapture {
+ public:
+  CerrCapture() : previous_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(previous_); }
+  std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* previous_;
+};
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Logging, ShardBodiesEmitWholeLinesUnderAuditedInterleavings) {
+  const LogLevel previous_threshold = log_threshold();
+  set_log_threshold(LogLevel::info);
+  const int previous_threads = shard_threads();
+  set_shard_threads(4);
+
+  constexpr std::int64_t kItems = 64;
+  for (const ShardAudit audit :
+       {ShardAudit::off, ShardAudit::random, ShardAudit::reverse}) {
+    set_shard_audit(audit);
+    CerrCapture capture;
+    parallel_for_shards(kItems, [&](int, std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        log_info() << "logline item=" << i << " payload=0123456789";
+      }
+    }, /*min_grain=*/1);
+    const auto lines = split_lines(capture.text());
+    ASSERT_EQ(lines.size(), static_cast<std::size_t>(kItems))
+        << "audit mode " << static_cast<int>(audit);
+    // Every line is intact: prefix, item id, full payload — a torn write
+    // would split or interleave these.
+    std::vector<bool> seen(static_cast<std::size_t>(kItems), false);
+    for (const std::string& line : lines) {
+      ASSERT_EQ(line.rfind("[info ] logline item=", 0), 0u) << line;
+      ASSERT_NE(line.find(" payload=0123456789"), std::string::npos) << line;
+      const int item = std::stoi(line.substr(21));
+      ASSERT_GE(item, 0);
+      ASSERT_LT(item, kItems);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(item)]) << "dup " << item;
+      seen[static_cast<std::size_t>(item)] = true;
+    }
+  }
+
+  set_shard_audit(ShardAudit::off);
+  set_shard_threads(previous_threads);
+  set_log_threshold(previous_threshold);
+}
+
+TEST(Logging, InfoLinesRouteToActiveCollectorAsInstants) {
+  const LogLevel previous_threshold = log_threshold();
+  set_log_threshold(LogLevel::debug);
+  TraceCollector collector;
+  {
+    TelemetryScope scope(collector);
+    CerrCapture capture;
+    log_debug() << "below the routing threshold";
+    log_info() << "routed line";
+    log_warn() << "warned line";
+    // Everything still reached stderr.
+    EXPECT_EQ(split_lines(capture.text()).size(), 3u);
+  }
+  const auto& instants = collector.instants();
+  ASSERT_EQ(instants.size(), 2u);  // info and warn route; debug does not
+  EXPECT_EQ(instants[0].name, "[info ] routed line");
+  EXPECT_EQ(instants[0].category, "log");
+  EXPECT_EQ(instants[1].name, "[warn ] warned line");
+  set_log_threshold(previous_threshold);
+}
+
+TEST(Logging, NoCollectorMeansPlainStderrOnly) {
+  const LogLevel previous_threshold = log_threshold();
+  set_log_threshold(LogLevel::info);
+  CerrCapture capture;
+  log_info() << "plain";
+  EXPECT_NE(capture.text().find("[info ] plain"), std::string::npos);
+  set_log_threshold(previous_threshold);
+}
+
+}  // namespace
+}  // namespace dcl

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <iomanip>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "test_util.h"
 
@@ -91,6 +94,102 @@ TEST(RoundLedger, TotalIsMonotoneUnderAppendAndMerge) {
   ledger.merge(other);
   EXPECT_GE(ledger.total_rounds(), previous);
   expect_ledger_valid(ledger);
+}
+
+TEST(RoundLedger, BreakdownKeepsOneRowPerLabelAndKind) {
+  RoundLedger ledger;
+  ledger.charge_exchange("x", 1.0, 10);
+  ledger.charge_exchange("x", 2.0, 5);
+  ledger.charge_routing("x", 4.0, 2);  // same label, different kind
+  ledger.charge_analytic("y", 7.0);
+  const auto rows = ledger.breakdown();
+  ASSERT_EQ(rows.size(), 3u);
+  // Sorted by (label, kind declaration order).
+  EXPECT_EQ(rows[0].label, "x");
+  EXPECT_EQ(rows[0].kind, CostKind::exchange);
+  EXPECT_DOUBLE_EQ(rows[0].rounds, 3.0);
+  EXPECT_EQ(rows[0].messages, 15u);
+  EXPECT_EQ(rows[1].label, "x");
+  EXPECT_EQ(rows[1].kind, CostKind::routing);
+  EXPECT_DOUBLE_EQ(rows[1].rounds, 4.0);
+  EXPECT_EQ(rows[1].messages, 2u);
+  EXPECT_EQ(rows[2].label, "y");
+  EXPECT_EQ(rows[2].kind, CostKind::analytic);
+  EXPECT_DOUBLE_EQ(rows[2].rounds, 7.0);
+  EXPECT_EQ(rows[2].messages, 0u);
+  // rounds_by_label folds the x rows into one — breakdown must not.
+  EXPECT_DOUBLE_EQ(ledger.rounds_by_label().at("x"), 7.0);
+}
+
+TEST(RoundLedger, BreakdownCoversRetryEntriesAndMerge) {
+  RoundLedger a;
+  a.charge_exchange("phase", 10.0, 100);
+  a.charge_retry("phase [retry]", 3.0, 6);
+  RoundLedger b;
+  b.charge_retry("phase [retry]", 2.0, 4);
+  b.note_lost(1);
+  a.merge(b);
+  // Retry entries ride the exchange kind and aggregate across the merge.
+  const auto rows = a.breakdown();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1].label, "phase [retry]");
+  EXPECT_EQ(rows[1].kind, CostKind::exchange);
+  EXPECT_DOUBLE_EQ(rows[1].rounds, 5.0);
+  EXPECT_EQ(rows[1].messages, 10u);
+  // The dedicated retry counters merged too, and the breakdown totals
+  // stay consistent with the ledger totals.
+  EXPECT_DOUBLE_EQ(a.retry_rounds(), 5.0);
+  EXPECT_EQ(a.retransmitted_messages(), 10u);
+  EXPECT_EQ(a.lost_messages(), 1u);
+  double rounds = 0.0;
+  std::uint64_t messages = 0;
+  for (const auto& row : rows) {
+    rounds += row.rounds;
+    messages += row.messages;
+  }
+  EXPECT_DOUBLE_EQ(rounds, a.total_rounds());
+  EXPECT_EQ(messages, a.total_messages());
+}
+
+TEST(RoundLedger, PrintAuditedAlignsLongLabelsAndRestoresStream) {
+  RoundLedger ledger;
+  const std::string long_label(48, 'L');  // longer than the setw(42) legacy
+  ledger.charge_exchange(long_label, 2.0, 8);
+  ledger.charge_analytic("short", 1.5);
+  ledger.charge_retry("short [retry]", 0.5, 3);
+  std::ostringstream os;
+  os << std::setprecision(6);
+  const std::ios_base::fmtflags flags_before = os.flags();
+  ledger.print_audited(os);
+  // Stream state is restored — print_breakdown leaks std::fixed, the
+  // audited printer must not.
+  EXPECT_EQ(os.flags(), flags_before);
+  EXPECT_EQ(os.precision(), 6);
+  const std::string text = os.str();
+  EXPECT_NE(text.find(long_label), std::string::npos);
+  EXPECT_NE(text.find("exchange"), std::string::npos);
+  EXPECT_NE(text.find("analytic"), std::string::npos);
+  EXPECT_NE(text.find("recovery: 0.5 retry rounds, 3 retransmitted"),
+            std::string::npos);
+  // The header and every row share the same label column width, so the
+  // "kind" column starts at one fixed offset on every line.
+  std::istringstream lines(text);
+  std::string line;
+  std::getline(lines, line);  // totals line
+  std::vector<std::size_t> kind_columns;
+  while (std::getline(lines, line)) {
+    if (line.find("recovery:") != std::string::npos) continue;
+    std::size_t column = std::string::npos;
+    for (const char* kind : {"kind", "exchange", "routing", "analytic"}) {
+      column = std::min(column, line.find(kind));
+    }
+    ASSERT_NE(column, std::string::npos) << line;
+    kind_columns.push_back(column);
+  }
+  ASSERT_GE(kind_columns.size(), 4u);
+  for (const std::size_t column : kind_columns) {
+    EXPECT_EQ(column, kind_columns.front());
+  }
 }
 
 TEST(CostKindNames, AllDistinct) {

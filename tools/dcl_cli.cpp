@@ -30,6 +30,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -39,6 +40,7 @@
 #include "baselines/baselines.h"
 #include "congest/fault_plan.h"
 #include "common/math_util.h"
+#include "common/telemetry.h"
 #include "core/kp_lister.h"
 #include "dynamic/dynamic_lister.h"
 #include "core/sparse_cc.h"
@@ -63,6 +65,7 @@ int usage() {
                "  dcl list <file> <p> [general|k4fast|cc|trivial] [seed]\n"
                "           [--faults SPEC | --fault-replay FILE] "
                "[--fault-record FILE]\n"
+               "           [--trace FILE] [--report FILE]\n"
                "           (SPEC e.g. drop=0.1,dup=0.05,delay=0.02:3,"
                "retries=4,seed=7,crash=5@2)\n"
                "  dcl count <file> <p>\n"
@@ -122,8 +125,9 @@ int cmd_info(int argc, char** argv) {
 }
 
 int cmd_list(int argc, char** argv) {
-  // Split --fault* option flags from the positional arguments.
+  // Split option flags from the positional arguments.
   std::string fault_spec, fault_replay, fault_record;
+  std::string trace_path, report_path;
   std::vector<char*> pos;
   for (int i = 0; i < argc; ++i) {
     const std::string a = argv[i];
@@ -145,6 +149,10 @@ int cmd_list(int argc, char** argv) {
     } else if (a.rfind("--fault-record", 0) == 0 &&
                (a.size() == 14 || a[14] == '=')) {
       fault_record = flag_value("--fault-record");
+    } else if (a.rfind("--trace", 0) == 0 && (a.size() == 7 || a[7] == '=')) {
+      trace_path = flag_value("--trace");
+    } else if (a.rfind("--report", 0) == 0 && (a.size() == 8 || a[8] == '=')) {
+      report_path = flag_value("--report");
     } else if (a.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
       return usage();
@@ -177,6 +185,19 @@ int cmd_list(int argc, char** argv) {
   }
   const bool faulty = plan.enabled() || plan.replaying();
 
+  // Telemetry is collected only when asked for: the collector is installed
+  // for the duration of the run, and the disabled plane costs one relaxed
+  // atomic load per probe otherwise.
+  const bool tracing = !trace_path.empty() || !report_path.empty();
+  TraceCollector collector;
+  std::optional<TelemetryScope> scope;
+  if (tracing) scope.emplace(collector);
+  std::string command = "list";
+  for (char* const* a = pos.data(); a != pos.data() + pos.size(); ++a) {
+    command += ' ';
+    command += *a;
+  }
+
   ListingOutput out(g.node_count());
   double rounds = 0;
   std::vector<NodeId> crashed;
@@ -184,6 +205,7 @@ int cmd_list(int argc, char** argv) {
   std::uint64_t lost = 0;
   double retry_rounds = 0.0;
   std::uint64_t retransmitted = 0;
+  RoundLedger report_ledger;
   if (algo == "general" || algo == "k4fast") {
     KpConfig cfg;
     cfg.p = p;
@@ -197,7 +219,8 @@ int cmd_list(int argc, char** argv) {
     lost = result.lost_messages;
     retry_rounds = result.ledger.retry_rounds();
     retransmitted = result.ledger.retransmitted_messages();
-    result.ledger.print_breakdown(std::cout);
+    report_ledger = result.ledger;
+    result.ledger.print_audited(std::cout);
   } else if (algo == "cc") {
     if (faulty && !plan.crashes().empty()) {
       throw std::runtime_error(
@@ -213,7 +236,8 @@ int cmd_list(int argc, char** argv) {
     lost = result.lost_messages;
     retry_rounds = result.ledger.retry_rounds();
     retransmitted = result.ledger.retransmitted_messages();
-    result.ledger.print_breakdown(std::cout);
+    report_ledger = result.ledger;
+    result.ledger.print_audited(std::cout);
   } else if (algo == "trivial") {
     if (faulty) {
       throw std::runtime_error(
@@ -235,6 +259,27 @@ int cmd_list(int argc, char** argv) {
     plan.serialize(rec);
     std::fprintf(stderr, "fault schedule (%zu events) written to %s\n",
                  plan.schedule().size(), fault_record.c_str());
+  }
+
+  if (tracing) {
+    scope.reset();  // stop collecting before exporting
+    if (!trace_path.empty()) {
+      std::ofstream tr(trace_path);
+      if (!tr) {
+        throw std::runtime_error("cannot write trace '" + trace_path + "'");
+      }
+      collector.write_chrome_trace(tr);
+      std::fprintf(stderr, "chrome trace (%zu spans) written to %s\n",
+                   collector.spans().size(), trace_path.c_str());
+    }
+    if (!report_path.empty()) {
+      std::ofstream rp(report_path);
+      if (!rp) {
+        throw std::runtime_error("cannot write report '" + report_path + "'");
+      }
+      write_run_report(rp, collector, &report_ledger, command);
+      std::fprintf(stderr, "run report written to %s\n", report_path.c_str());
+    }
   }
 
   std::printf("algorithm:      %s\n", algo.c_str());
