@@ -67,7 +67,7 @@ BaselineResult oblivious_cc_list(const Graph& g, int p, ListingOutput& out) {
     std::unordered_map<NodeId, NodeId> to_compact;
     auto intern = [&](NodeId v) {
       auto [it, fresh] =
-          to_compact.try_emplace(v, static_cast<NodeId>(to_global.size()));
+          to_compact.try_emplace(v, to_node(to_global.size()));
       if (fresh) to_global.push_back(v);
       return it->second;
     };
@@ -87,7 +87,7 @@ BaselineResult oblivious_cc_list(const Graph& g, int p, ListingOutput& out) {
     }
     if (static_cast<int>(local.size()) < p * (p - 1) / 2) continue;
     const Graph local_graph = Graph::from_edges(
-        static_cast<NodeId>(to_global.size()), std::move(local));
+        to_node(to_global.size()), std::move(local));
     std::vector<NodeId> global(static_cast<std::size_t>(p));
     for (const auto& c : list_k_cliques(local_graph, p)) {
       for (std::size_t x = 0; x < c.size(); ++x) {

@@ -109,6 +109,7 @@ inline std::size_t into_gallop(const NodeId* small, std::size_t ns,
 
 /// |a ∩ b| for sorted, duplicate-free inputs. Picks merge vs galloping by
 /// the size ratio.
+// dcl-hot
 inline std::size_t intersect_count(std::span<const NodeId> a,
                                    std::span<const NodeId> b) {
   using namespace intersect_detail;
@@ -122,10 +123,12 @@ inline std::size_t intersect_count(std::span<const NodeId> a,
 
 /// a ∩ b into `out` (cleared first, capacity grown once to min size). The
 /// buffer is a reference so hot recursions can reuse per-depth scratch.
+// dcl-hot
 inline void intersect_into(std::span<const NodeId> a, std::span<const NodeId> b,
                            std::vector<NodeId>& out) {
   using namespace intersect_detail;
   if (a.size() > b.size()) std::swap(a, b);
+  // dcl-lint: allow(sem-hot-alloc): per-depth scratch, high-water capacity
   out.resize(a.size());
   if (a.empty()) return;
   std::size_t c;
@@ -134,10 +137,12 @@ inline void intersect_into(std::span<const NodeId> a, std::span<const NodeId> b,
   } else {
     c = into_merge(a.data(), a.size(), b.data(), b.size(), out.data());
   }
+  // dcl-lint: allow(sem-hot-alloc): shrink to the intersection size
   out.resize(c);
 }
 
 /// Membership in a sorted list (binary search; the one-element intersection).
+// dcl-hot
 inline bool sorted_contains(std::span<const NodeId> a, NodeId key) {
   const std::size_t i =
       intersect_detail::gallop_lower_bound(a.data(), a.size(), 0, key);

@@ -67,7 +67,9 @@ class DeliveryArena {
   /// Two stable counting-sort passes: by sender into scratch, then by
   /// recipient into the arena. Stamped histograms: cost is
   /// O(|queue| + distinct·log distinct), never O(n), on sparse phases.
+  // dcl-hot
   void deliver(std::span<const QueuedMessage> queue) {
+    // dcl-lint: allow(sem-hot-alloc): scratch warms once, then never regrows
     scratch_.resize(queue.size());
     const std::uint64_t gen = ++generation_;
     touched_.clear();
@@ -76,6 +78,7 @@ class DeliveryArena {
       if (send_stamp_[s] != gen) {
         send_stamp_[s] = gen;
         send_cursor_[s] = 0;
+        // dcl-lint: allow(sem-hot-alloc): n-bounded; capacity persists
         touched_.push_back(q.from);
       }
       ++send_cursor_[s];
@@ -84,9 +87,9 @@ class DeliveryArena {
       // Dense fallback: one full histogram sweep beats sorting the
       // touched list. Every slot is re-stamped so the two paths share
       // the same cursor state.
-      std::uint32_t offset = 0;
+      std::uint64_t offset = 0;
       for (std::size_t s = 0; s < send_stamp_.size(); ++s) {
-        const std::uint32_t count =
+        const std::uint64_t count =
             send_stamp_[s] == gen ? send_cursor_[s] : 0;
         send_stamp_[s] = gen;
         send_cursor_[s] = offset;
@@ -96,10 +99,10 @@ class DeliveryArena {
       // Contiguous sender regions must ascend in sender id for the final
       // inbox order to match the dense execution bit for bit.
       std::sort(touched_.begin(), touched_.end());
-      std::uint32_t offset = 0;
+      std::uint64_t offset = 0;
       for (const NodeId v : touched_) {
         const auto s = static_cast<std::size_t>(v);
-        const std::uint32_t count = send_cursor_[s];
+        const std::uint64_t count = send_cursor_[s];
         send_cursor_[s] = offset;
         offset += count;
       }
@@ -113,6 +116,7 @@ class DeliveryArena {
   /// Fast path when `queue` is already grouped by sender in increasing
   /// sender order (the engine collects node queues in node order): one
   /// stable counting-sort pass by recipient.
+  // dcl-hot
   void deliver_grouped_by_sender(std::span<const QueuedMessage> queue) {
     const std::uint64_t gen = ++generation_;
     touched_.clear();
@@ -121,15 +125,17 @@ class DeliveryArena {
       if (recv_stamp_[r] != gen) {
         recv_stamp_[r] = gen;
         recv_count_[r] = 0;
+        // dcl-lint: allow(sem-hot-alloc): n-bounded; capacity persists
         touched_.push_back(q.to);
       }
       ++recv_count_[r];
     }
+    // dcl-lint: allow(sem-hot-alloc): arena warms once (see class comment)
     arena_.resize(queue.size());
     if (dense(touched_.size())) {
-      std::uint32_t offset = 0;
+      std::uint64_t offset = 0;
       for (std::size_t r = 0; r < recv_stamp_.size(); ++r) {
-        const std::uint32_t count = recv_stamp_[r] == gen ? recv_count_[r] : 0;
+        const std::uint64_t count = recv_stamp_[r] == gen ? recv_count_[r] : 0;
         recv_stamp_[r] = gen;
         recv_count_[r] = count;
         recv_begin_[r] = offset;
@@ -141,7 +147,7 @@ class DeliveryArena {
       // contents (each is filled from the sender-ordered queue), but
       // sorting keeps the arena layout identical to the dense path.
       std::sort(touched_.begin(), touched_.end());
-      std::uint32_t offset = 0;
+      std::uint64_t offset = 0;
       for (const NodeId v : touched_) {
         const auto r = static_cast<std::size_t>(v);
         recv_begin_[r] = offset;
@@ -181,13 +187,18 @@ class DeliveryArena {
   std::uint64_t generation_ = 0;
   std::vector<Delivery> arena_;
   std::vector<QueuedMessage> scratch_;
+  // Cursor/offset tables are positions into a phase's traffic — edge-scale
+  // and beyond (a Lenzen routing phase moves O(m) messages), so 64-bit.
+  // Only the stamps were 64-bit before; a >2^32-message phase would have
+  // wrapped the 32-bit cursors and scattered deliveries on top of each
+  // other.
   std::vector<NodeId> touched_;            // distinct endpoints, this pass
   std::vector<std::uint64_t> send_stamp_;  // sender-pass generation stamps
-  std::vector<std::uint32_t> send_cursor_; // sender histogram, then cursors
+  std::vector<std::uint64_t> send_cursor_; // sender histogram, then cursors
   std::vector<std::uint64_t> recv_stamp_;  // recipient-pass stamps
-  std::vector<std::uint32_t> recv_begin_;  // per-recipient arena offsets
-  std::vector<std::uint32_t> recv_count_;  // per-recipient inbox sizes
-  std::vector<std::uint32_t> recv_cursor_; // scatter cursors
+  std::vector<std::uint64_t> recv_begin_;  // per-recipient arena offsets
+  std::vector<std::uint64_t> recv_count_;  // per-recipient inbox sizes
+  std::vector<std::uint64_t> recv_cursor_; // scatter cursors
 };
 
 }  // namespace dcl

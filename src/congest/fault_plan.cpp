@@ -123,7 +123,7 @@ FaultSpec FaultSpec::parse(const std::string& text) {
       if (node < 0) {
         throw std::runtime_error("FaultSpec: negative crash node: " + value);
       }
-      ev.node = static_cast<NodeId>(node);
+      ev.node = to_node(node);
       ev.clock = parse_int_field(value.substr(at + 1), "crash clock");
       spec.crashes.push_back(ev);
     } else {

@@ -42,7 +42,10 @@ struct CurrentView {
 /// vector of per-node unordered_maps — the rows live in one contiguous
 /// array and membership is a binary search over a short sorted row.
 struct ClusterNeighborTable {
-  std::vector<std::uint32_t> off;  // n+1 row offsets
+  // Row offsets are prefix sums bounded by Σ_v |N(v)| = 2m — edge-scale,
+  // past 2^32 at ROADMAP-item-5 graph sizes — so they are 64-bit even
+  // though every individual row length is node-scale.
+  std::vector<std::uint64_t> off;  // n+1 row offsets
   std::vector<std::pair<int, std::int32_t>> entries;
 
   std::span<const std::pair<int, std::int32_t>> row(NodeId v) const {
@@ -115,8 +118,7 @@ ClusterNeighborTable build_cluster_neighbors(NodeId n, const CurrentView& view,
         buf.emplace_back(scratch[x], static_cast<std::int32_t>(y - x));
         x = y;
       }
-      table.off[static_cast<std::size_t>(v) + 1] =
-          static_cast<std::uint32_t>(buf.size() - row_start);
+      table.off[static_cast<std::size_t>(v) + 1] = buf.size() - row_start;
     }
   }, kNodeScanGrain);
   for (std::size_t v = 1; v <= static_cast<std::size_t>(n); ++v) {
@@ -624,7 +626,7 @@ ArbIterationTrace arb_list(ArbListContext& ctx) {
   auto prepare_cluster = [&](std::size_t ci, ClusterTailState& st) {
     if (crash_mode && cluster_fallback[ci]) return;  // broadcast path
     const Cluster& cluster = clusters_data[ci];
-    const auto k = static_cast<NodeId>(cluster.nodes.size());
+    const auto k = to_node(cluster.nodes.size());
     if (k == 0) return;
     const std::int64_t bandwidth =
         std::max<std::int64_t>(1, cluster.min_internal_degree);

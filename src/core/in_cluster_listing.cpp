@@ -16,7 +16,7 @@ InClusterPlan in_cluster_plan(const InClusterProblem& problem, Rng& rng) {
   const Cluster& cluster = *problem.cluster;
   const auto& holders = *problem.edges_by_holder;
   const int p = problem.p;
-  const auto k = static_cast<NodeId>(cluster.nodes.size());
+  const auto k = to_node(cluster.nodes.size());
   if (holders.size() != static_cast<std::size_t>(k)) {
     throw std::invalid_argument("in_cluster_plan: holder count mismatch");
   }
@@ -56,7 +56,7 @@ InClusterPlan in_cluster_plan(const InClusterProblem& problem, Rng& rng) {
     KnownEdge e;
     bool goal = false;
   };
-  std::vector<std::vector<HeldEdge>> bucket(static_cast<std::size_t>(q * q));
+  std::vector<std::vector<HeldEdge>> bucket(checked_mul64(q, q));
   std::vector<std::int64_t> send_load(static_cast<std::size_t>(k), 0);
   for (NodeId holder = 0; holder < k; ++holder) {
     for (const KnownEdge& e : holders[static_cast<std::size_t>(holder)]) {
@@ -121,7 +121,7 @@ InClusterPlan in_cluster_plan(const InClusterProblem& problem, Rng& rng) {
               const int py = part[static_cast<std::size_t>(y)];
               return px != py ? px < py : x < y;
             });
-  const auto compact_n = static_cast<NodeId>(plan.compact_to_global.size());
+  const auto compact_n = to_node(plan.compact_to_global.size());
   plan.compact_n = compact_n;
   for (NodeId c = 0; c < compact_n; ++c) {
     global_to_compact[static_cast<std::size_t>(
@@ -142,7 +142,7 @@ InClusterPlan in_cluster_plan(const InClusterProblem& problem, Rng& rng) {
   // (goal flags merge by OR — the union of held copies), and lay the rows
   // out as a CSR over the lower part's compact range. This is the only
   // O(m log m) pass left; every representative reuses it.
-  plan.fragments.resize(static_cast<std::size_t>(q * q));
+  plan.fragments.resize(checked_mul64(q, q));
   {
     struct CompactEdge {
       NodeId lo, hi;
@@ -207,7 +207,7 @@ InClusterPlan in_cluster_plan(const InClusterProblem& problem, Rng& rng) {
   const std::vector<NodeId> rep = representative_table(tuple, q);
   std::vector<std::int64_t> recv_load(static_cast<std::size_t>(k), 0);
   std::vector<InClusterPlan::FragRef> refs;  // current rep's covered frags
-  std::vector<std::uint32_t> deg;            // row-degree scratch, per part
+  std::vector<std::uint64_t> deg;            // row-degree scratch, per part
   for (NodeId j = 0; j < k; ++j) {
     const auto& s = tuple[static_cast<std::size_t>(j)];
     const bool is_rep = rep[static_cast<std::size_t>(j)] == j;
@@ -264,9 +264,9 @@ InClusterPlan in_cluster_plan(const InClusterProblem& problem, Rng& rng) {
     r.edges = rep_edges;
     r.all_goal = rep_goals == rep_edges;
     r.est_work = est;
-    r.frag_begin = static_cast<std::uint32_t>(plan.frag_refs.size());
+    r.frag_begin = plan.frag_refs.size();
     plan.frag_refs.insert(plan.frag_refs.end(), refs.begin(), refs.end());
-    r.frag_end = static_cast<std::uint32_t>(plan.frag_refs.size());
+    r.frag_end = plan.frag_refs.size();
     plan.est_work_total += est;
     plan.reps.push_back(r);
   }
@@ -318,24 +318,24 @@ std::uint64_t in_cluster_enumerate(const InClusterPlan& plan,
     edges.clear();
     edges.reserve(static_cast<std::size_t>(rep.edges));
     edge_goal.clear();
-    for (std::uint32_t i = rep.frag_begin; i < rep.frag_end;) {
+    for (std::uint64_t i = rep.frag_begin; i < rep.frag_end;) {
       const int a = plan.frag_refs[i].lower_part;
-      std::uint32_t fend = i;
+      std::uint64_t fend = i;
       while (fend < rep.frag_end && plan.frag_refs[fend].lower_part == a) {
         ++fend;
       }
       const NodeId lo_begin = plan.part_begin[static_cast<std::size_t>(a)];
       const NodeId lo_end = plan.part_begin[static_cast<std::size_t>(a) + 1];
       frags.clear();
-      for (std::uint32_t fi = i; fi < fend; ++fi) {
+      for (std::uint64_t fi = i; fi < fend; ++fi) {
         frags.push_back(&plan.fragments[plan.frag_refs[fi].frag]);
       }
       for (NodeId u = lo_begin; u < lo_end; ++u) {
         const auto row = static_cast<std::size_t>(u - lo_begin);
         for (const InClusterPlan::Fragment* f : frags) {
-          const std::uint32_t rb = f->off[row];
-          const std::uint32_t re = f->off[row + 1];
-          for (std::uint32_t x = rb; x < re; ++x) {
+          const std::uint64_t rb = f->off[row];
+          const std::uint64_t re = f->off[row + 1];
+          for (std::uint64_t x = rb; x < re; ++x) {
             edges.push_back(Edge{u, f->nbr[x]});
             if (!all_goal) edge_goal.push_back(f->goal[x]);
           }

@@ -95,7 +95,10 @@ struct InClusterPlan {
   /// once; every representative covering {a, b} assembles its local graph
   /// by walking these rows.
   struct Fragment {
-    std::vector<std::uint32_t> off;  ///< lower-part-range row offsets (+1)
+    /// Row offsets index into `nbr` — edge-scale in the q=1 one-fragment
+    /// regime (a fragment can hold every known edge of the cluster), so
+    /// 64-bit like every other edge-position type.
+    std::vector<std::uint64_t> off;  ///< lower-part-range row offsets (+1)
     std::vector<NodeId> nbr;         ///< higher endpoints, ascending per row
     std::vector<std::uint8_t> goal;  ///< goal flag, aligned with `nbr`
     std::int64_t goal_count = 0;
@@ -123,8 +126,10 @@ struct InClusterPlan {
     /// Σ over local-graph sources u of (deg⁺(u))², accumulated in 64 bits —
     /// a single 70 000-degree hub already overflows 32 (70 000² ≈ 4.9e9).
     std::uint64_t est_work = 0;
-    std::uint32_t frag_begin = 0;  ///< range into `frag_refs`
-    std::uint32_t frag_end = 0;
+    /// `frag_refs` positions: bounded by reps × covered pairs, which scales
+    /// with k·p² — 64-bit so a million-node cluster roster cannot wrap.
+    std::uint64_t frag_begin = 0;  ///< range into `frag_refs`
+    std::uint64_t frag_end = 0;
   };
 
   const Cluster* cluster = nullptr;  ///< for reporter ids (global node ids)

@@ -22,6 +22,7 @@
 #include "common/intersect.h"
 #include "common/math_util.h"
 #include "graph/graph.h"
+#include "graph/ids.h"
 
 namespace dcl {
 
@@ -87,7 +88,7 @@ inline std::vector<NodeId> representative_table(
 /// a q*q table indexed by pair_index.
 inline std::vector<std::int64_t> coverage_table(
     const std::vector<std::vector<int>>& tuples, int q) {
-  std::vector<std::int64_t> cover(static_cast<std::size_t>(q) * q, 0);
+  std::vector<std::int64_t> cover(checked_mul64(q, q), 0);
   for (const auto& s : tuples) {
     for (int a = 0; a < q; ++a) {
       for (int b = a; b < q; ++b) {

@@ -79,10 +79,8 @@ SparseCcResult sparse_cc_list(const Graph& g, const SparseCcConfig& cfg,
     }
     const auto possible = static_cast<double>(n) * (n - 1) / 2.0;
     while (static_cast<double>(edges.size()) < std::min(target_m, possible)) {
-      const auto a = static_cast<NodeId>(rng.next_below(
-          static_cast<std::uint64_t>(n)));
-      const auto b = static_cast<NodeId>(rng.next_below(
-          static_cast<std::uint64_t>(n)));
+      const auto a = to_node(rng.next_below(static_cast<std::uint64_t>(n)));
+      const auto b = to_node(rng.next_below(static_cast<std::uint64_t>(n)));
       if (a == b) continue;
       const Edge e = make_edge(a, b);
       const std::uint64_t key =
@@ -125,7 +123,7 @@ SparseCcResult sparse_cc_list(const Graph& g, const SparseCcConfig& cfg,
 
   // Bucket edges by part pair (Lemma 2.7 balance check) and compute loads.
   std::vector<std::vector<DirectedEdge>> bucket(
-      static_cast<std::size_t>(q * q));
+      checked_mul64(q, q));
   for (const auto& de : edges) {
     bucket[static_cast<std::size_t>(
                pair_index(part[static_cast<std::size_t>(de.tail)],
@@ -151,7 +149,7 @@ SparseCcResult sparse_cc_list(const Graph& g, const SparseCcConfig& cfg,
   constexpr std::int64_t kCoverGrain = 128;
   parallel_for_shards(n, [&](int shard, std::int64_t lo, std::int64_t hi) {
     auto& local_cover = shard_cover[static_cast<std::size_t>(shard)];
-    local_cover.assign(static_cast<std::size_t>(q * q), 0);
+    local_cover.assign(checked_mul64(q, q), 0);
     for (std::int64_t i = lo; i < hi; ++i) {
       auto& s = tuple[static_cast<std::size_t>(i)];
       s = part_multiset(static_cast<NodeId>(i), q, p);
@@ -164,7 +162,7 @@ SparseCcResult sparse_cc_list(const Graph& g, const SparseCcConfig& cfg,
       }
     }
   }, kCoverGrain);
-  std::vector<std::int64_t> cover(static_cast<std::size_t>(q * q), 0);
+  std::vector<std::int64_t> cover(checked_mul64(q, q), 0);
   for (const auto& local_cover : shard_cover) {
     for (std::size_t idx = 0; idx < local_cover.size(); ++idx) {
       cover[idx] += local_cover[idx];
@@ -245,7 +243,7 @@ SparseCcResult sparse_cc_list(const Graph& g, const SparseCcConfig& cfg,
     auto intern = [&](NodeId v) {
       NodeId& slot = to_compact[static_cast<std::size_t>(v)];
       if (slot < 0) {
-        slot = static_cast<NodeId>(to_global.size());
+        slot = to_node(to_global.size());
         to_global.push_back(v);
       }
       return slot;
@@ -262,7 +260,7 @@ SparseCcResult sparse_cc_list(const Graph& g, const SparseCcConfig& cfg,
     }
     if (static_cast<int>(local.size()) < p * (p - 1) / 2) continue;
     const Graph local_graph =
-        Graph::from_edges(static_cast<NodeId>(to_global.size()),
+        Graph::from_edges(to_node(to_global.size()),
                           std::move(local));
     const auto cliques = list_k_cliques(local_graph, p);
     std::vector<NodeId> global(static_cast<std::size_t>(p));

@@ -97,7 +97,7 @@ std::uint64_t DynamicOrientation::flush() {
 NodeId DynamicOrientation::max_out_degree() const {
   NodeId best = 0;
   for (const auto& list : out_) {
-    best = std::max(best, static_cast<NodeId>(list.size()));
+    best = std::max(best, to_node(list.size()));
   }
   return best;
 }

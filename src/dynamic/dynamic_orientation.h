@@ -49,7 +49,7 @@ class DynamicOrientation {
   std::uint64_t flush();
 
   NodeId out_degree(NodeId v) const {
-    return static_cast<NodeId>(out_[static_cast<std::size_t>(v)].size());
+    return to_node(out_[static_cast<std::size_t>(v)].size());
   }
   /// The live arboricity witness A (maximum out-degree). O(n) scan.
   NodeId max_out_degree() const;

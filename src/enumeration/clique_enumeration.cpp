@@ -372,6 +372,7 @@ DegeneracyDag degeneracy_dag(const Graph& g) {
 /// {1, 2}): at these depths the merged last levels are optimal as plain
 /// label-compare scans, and the trimming machinery below would only add
 /// partition writes. `emit` receives each completed clique.
+// dcl-hot
 template <typename Emit>
 void extend_clique(const DegeneracyDag& dag, std::vector<NodeId>& prefix,
                    std::span<const NodeId> candidates, int level,
@@ -379,6 +380,7 @@ void extend_clique(const DegeneracyDag& dag, std::vector<NodeId>& prefix,
   // Prune: not enough candidates left to complete the clique.
   if (static_cast<int>(candidates.size()) < remaining) return;
   if (remaining == 1) {
+    // dcl-lint: allow(sem-hot-alloc): prefix is caller-reserved to depth p
     prefix.push_back(candidates.front());
     for (const NodeId u : candidates) {
       prefix.back() = u;
@@ -391,6 +393,7 @@ void extend_clique(const DegeneracyDag& dag, std::vector<NodeId>& prefix,
   // are emitted straight from the label scan, with no candidate
   // materialization.
   const std::size_t base = prefix.size();
+  // dcl-lint: allow(sem-hot-alloc): prefix is caller-reserved to depth p
   prefix.resize(base + 2);
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (i + 1 < candidates.size()) {
@@ -405,11 +408,13 @@ void extend_clique(const DegeneracyDag& dag, std::vector<NodeId>& prefix,
       }
     }
   }
+  // dcl-lint: allow(sem-hot-alloc): shrink back to entry size, no growth
   prefix.resize(base);
 }
 
 /// Counting twin of `extend_clique` (p ≤ 3): the innermost levels collapse
 /// to label-compare counts, so nothing is materialized where the work is.
+// dcl-hot
 std::uint64_t count_extend(const DegeneracyDag& dag,
                            std::span<const NodeId> candidates, int level,
                            int remaining, Labels& label) {
@@ -453,7 +458,7 @@ struct TrimDag {
     const std::size_t n = d.offsets.size() - 1;
     deg.resize(n);
     for (std::size_t v = 0; v < n; ++v) {
-      deg[v] = static_cast<NodeId>(d.offsets[v + 1] - d.offsets[v]);
+      deg[v] = to_node(d.offsets[v + 1] - d.offsets[v]);
     }
   }
   std::span<const NodeId> out(NodeId v) const {
@@ -465,6 +470,7 @@ struct TrimDag {
 /// Trims the segment prefix of every x in `cands` (all labeled `mark`) down
 /// to the neighbors also labeled `mark`, recording the previous degrees in
 /// `saved` for restore.
+// dcl-hot
 void trim_prefixes(TrimDag& sub, std::span<const NodeId> cands,
                    const Labels& label, std::uint8_t mark,
                    std::vector<NodeId>& saved) {

@@ -191,7 +191,7 @@ LiveSubgraph live_subgraph(const WorkState& state,
     sorted_edges[i] = edges[perm[i]];
     out.edge_to_original[i] = ids[perm[i]];
   }
-  out.graph = Graph::from_edges(static_cast<NodeId>(nodes.size()),
+  out.graph = Graph::from_edges(to_node(nodes.size()),
                                 std::move(sorted_edges));
   return out;
 }

@@ -30,10 +30,8 @@ Graph erdos_renyi_gnm(NodeId n, EdgeId m, Rng& rng) {
     std::unordered_set<std::uint64_t> removed;
     removed.reserve(static_cast<std::size_t>(max_m - m) * 2);
     while (static_cast<EdgeId>(removed.size()) < max_m - m) {
-      const auto u = static_cast<NodeId>(rng.next_below(
-          static_cast<std::uint64_t>(n)));
-      const auto v = static_cast<NodeId>(rng.next_below(
-          static_cast<std::uint64_t>(n)));
+      const auto u = to_node(rng.next_below(static_cast<std::uint64_t>(n)));
+      const auto v = to_node(rng.next_below(static_cast<std::uint64_t>(n)));
       if (u == v) continue;
       const Edge e = make_edge(u, v);
       removed.insert(encode_pair(e.u, e.v));
@@ -50,10 +48,8 @@ Graph erdos_renyi_gnm(NodeId n, EdgeId m, Rng& rng) {
   std::vector<Edge> edges;
   edges.reserve(static_cast<std::size_t>(m));
   while (static_cast<EdgeId>(edges.size()) < m) {
-    const auto u =
-        static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
-    const auto v =
-        static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto u = to_node(rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto v = to_node(rng.next_below(static_cast<std::uint64_t>(n)));
     if (u == v) continue;
     const Edge e = make_edge(u, v);
     if (chosen.insert(encode_pair(e.u, e.v)).second) edges.push_back(e);

@@ -153,7 +153,7 @@ InducedSubgraph induced_subgraph(const Graph& g,
         static_cast<NodeId>(i);
   }
   std::vector<Edge> edges;
-  for (NodeId nv = 0; nv < static_cast<NodeId>(to_original.size()); ++nv) {
+  for (NodeId nv = 0; nv < to_node(to_original.size()); ++nv) {
     const NodeId ov = to_original[static_cast<std::size_t>(nv)];
     for (NodeId ow : g.neighbors(ov)) {
       const NodeId nw = to_new[static_cast<std::size_t>(ow)];
@@ -161,7 +161,7 @@ InducedSubgraph induced_subgraph(const Graph& g,
     }
   }
   InducedSubgraph result;
-  result.graph = Graph::from_edges(static_cast<NodeId>(to_original.size()),
+  result.graph = Graph::from_edges(to_node(to_original.size()),
                                    std::move(edges));
   result.to_original = std::move(to_original);
   return result;

@@ -18,10 +18,9 @@
 #include <string>
 #include <vector>
 
-namespace dcl {
+#include "graph/ids.h"
 
-using NodeId = std::int32_t;
-using EdgeId = std::int64_t;
+namespace dcl {
 
 /// An undirected edge, normalized so that `u < v`.
 struct Edge {
@@ -58,7 +57,7 @@ class Graph {
   static Graph from_sorted_edges(NodeId n, std::vector<Edge> edges);
 
   NodeId node_count() const { return n_; }
-  EdgeId edge_count() const { return static_cast<EdgeId>(edges_.size()); }
+  EdgeId edge_count() const { return to_edge(edges_.size()); }
 
   /// All edges, sorted lexicographically; `edges()[e]` is the edge with id e.
   std::span<const Edge> edges() const { return edges_; }
@@ -67,7 +66,7 @@ class Graph {
   }
 
   NodeId degree(NodeId v) const {
-    return static_cast<NodeId>(offset(v + 1) - offset(v));
+    return to_node(offset(v + 1) - offset(v));
   }
 
   /// Sorted neighbor list of v.

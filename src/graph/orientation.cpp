@@ -122,10 +122,10 @@ DegeneracyResult degeneracy_order(const Graph& g) {
   for (std::size_t peeled = 0; peeled < n; ++peeled) {
     while (next[sentinel(cursor)] == sentinel(cursor)) ++cursor;
     const std::size_t vi = next[sentinel(cursor)];
-    const NodeId v = static_cast<NodeId>(vi);
+    const NodeId v = to_node(vi);
     next[sentinel(cursor)] = next[vi];
     prev[next[vi]] = sentinel(cursor);
-    current_core = std::max(current_core, static_cast<NodeId>(cursor));
+    current_core = std::max(current_core, to_node(cursor));
     result.core_number[vi] = current_core;
     result.order.push_back(v);
     deg[vi] = -1;

@@ -47,7 +47,7 @@ class Orientation {
   }
 
   NodeId out_degree(NodeId v) const {
-    return static_cast<NodeId>(out_offsets_[static_cast<std::size_t>(v) + 1] -
+    return to_node(out_offsets_[static_cast<std::size_t>(v) + 1] -
                                out_offsets_[static_cast<std::size_t>(v)]);
   }
   NodeId max_out_degree() const;

@@ -8,6 +8,7 @@
 
 #include "common/math_util.h"
 #include "graph/generators.h"
+#include "graph/ids.h"
 
 namespace dcl {
 
@@ -119,8 +120,8 @@ class LivePool {
 };
 
 Edge random_pair(NodeId n, Rng& rng) {
-  const auto u = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
-  auto v = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n - 1)));
+  const auto u = to_node(rng.next_below(static_cast<std::uint64_t>(n)));
+  auto v = to_node(rng.next_below(static_cast<std::uint64_t>(n - 1)));
   if (v >= u) ++v;
   return make_edge(u, v);
 }
@@ -246,10 +247,12 @@ UpdateStream densifying_community_stream(NodeId n, int blocks, int batches,
       // bounded retries fall back to a background edge.
       if (!rng.next_bool(0.2)) {
         for (int attempt = 0; attempt < 20 && !found; ++attempt) {
-          const auto u = static_cast<NodeId>(
-              lo + rng.next_below(static_cast<std::uint64_t>(hi - lo)));
-          auto v = static_cast<NodeId>(
-              lo + rng.next_below(static_cast<std::uint64_t>(hi - lo - 1)));
+          const NodeId u =
+              to_node(static_cast<std::uint64_t>(lo) +
+                      rng.next_below(static_cast<std::uint64_t>(hi - lo)));
+          NodeId v =
+              to_node(static_cast<std::uint64_t>(lo) +
+                      rng.next_below(static_cast<std::uint64_t>(hi - lo - 1)));
           if (v >= u) ++v;
           e = make_edge(u, v);
           found = !pool.contains(e);

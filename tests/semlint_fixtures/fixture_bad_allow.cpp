@@ -1,0 +1,26 @@
+// bad-allow fixture: malformed allow() annotations must themselves be
+// findings — a typo'd rule name or a missing justification suppresses
+// nothing and must not rot in the tree. The allow() grammar requires the
+// annotation to end its line, so the expect markers below ride *before*
+// the allow on the same line. Rule names from dcl_lint's lexical
+// vocabulary are legal here (shared grammar), so the wallclock line is
+// NOT a finding.
+#include <cstdint>
+
+namespace fix {
+
+std::int64_t annotated(std::int64_t x) {
+  // dcl-semlint-expect: bad-allow // dcl-lint: allow(sem-narow): typo'd rule
+  std::int64_t a = x;
+
+  // dcl-semlint-expect: bad-allow // dcl-lint: allow(sem-narrow)
+  std::int64_t b = x;
+
+  // Foreign-but-valid rule name from dcl_lint's vocabulary: silent.
+  // dcl-lint: allow(wallclock): fixture demo - not a timing site anyway
+  std::int64_t c = x;
+
+  return a + b + c;
+}
+
+}  // namespace fix

@@ -1,0 +1,49 @@
+// sem-unordered-iter across a TU boundary: every container below was
+// *declared* in spill_set.h — this file never mentions "unordered"
+// lexically, which is exactly why dcl_lint cannot see it and dcl_semlint
+// must.
+#include <cstdint>
+
+#include "spill_set.h"
+
+namespace fix {
+
+std::int64_t sum_hashed(const SpillTracker& t) {
+  std::int64_t acc = 0;
+  for (int v : t.hashed_spill) {  // dcl-semlint-expect: sem-unordered-iter
+    acc += v;
+  }
+  return acc;
+}
+
+std::int64_t sum_ordered(const SpillTracker& t) {
+  // Negative control: std::set iterates in key order — deterministic, and
+  // the analyzer must keep quiet even though the member lives in a header.
+  std::int64_t acc = 0;
+  for (int v : t.ordered_spill) {
+    acc += v;
+  }
+  return acc;
+}
+
+std::int64_t sum_flat(const SpillTracker& t) {
+  std::int64_t acc = 0;
+  for (int v : t.flat_spill) {
+    acc += v;
+  }
+  return acc;
+}
+
+// .begin() on an unordered member — the manual-iterator spelling of the
+// same hazard; lookup-style calls (find/count/contains) never flag.
+int first_hashed(const SpillTracker& t) {
+  auto it = t.hashed_spill.begin();  // dcl-semlint-expect: sem-unordered-iter
+  return it == t.hashed_spill.end() ? -1 : *it;
+}
+
+bool has_zero(const SpillTracker& t) {
+  // Negative control: membership probe, no iteration-order dependence.
+  return t.hashed_spill.find(0) != t.hashed_spill.end();
+}
+
+}  // namespace fix

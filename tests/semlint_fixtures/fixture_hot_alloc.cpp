@@ -1,0 +1,42 @@
+// sem-hot-alloc fixture: the // dcl-hot annotation contract. Growth calls
+// inside an annotated kernel are findings unless the same function
+// reserve()s the container first; un-annotated functions are never audited.
+#include <cstdlib>
+#include <vector>
+
+namespace fix {
+
+// dcl-hot
+void hot_kernel(std::vector<int>& out, const std::vector<int>& in) {
+  for (int v : in) {
+    out.push_back(v);  // dcl-semlint-expect: sem-hot-alloc
+  }
+  int* raw = new int[4];  // dcl-semlint-expect: sem-hot-alloc
+  delete[] raw;
+  void* blob = std::malloc(16);  // dcl-semlint-expect: sem-hot-alloc
+  std::free(blob);
+}
+
+// dcl-hot
+void hot_but_reserved(std::vector<int>& out, const std::vector<int>& in) {
+  // Negative control: the reserve() exemption — growth after a
+  // same-function reserve on the same container is amortization-free.
+  out.reserve(in.size());
+  for (int v : in) {
+    out.push_back(v);
+  }
+}
+
+// dcl-hot
+void hot_with_allow(std::vector<int>& out) {
+  // dcl-lint: allow(sem-hot-alloc): fixture demo - warms once then reused
+  out.resize(128);
+}
+
+// Negative control: not annotated as hot, so never audited.
+void cold_setup(std::vector<int>& out) {
+  out.push_back(1);
+  out.resize(64);
+}
+
+}  // namespace fix

@@ -1,0 +1,31 @@
+// sem-mul-width fixture: the PR 6 out-degree-squared class. A product of
+// two 32-bit operands is computed in 32 bits no matter how wide the home it
+// lands in; widening must happen on an operand (or via checked_mul64), not
+// on the completed product.
+#include <cstdint>
+
+namespace fix {
+
+std::uint64_t bucket_table(int q) {
+  // Implicit widening of a 32-bit product: overflowed before the
+  // conversion.
+  std::uint64_t slots = q * q;  // dcl-semlint-expect: sem-mul-width
+
+  // Explicit cast of the completed product: same overflow, louder syntax.
+  auto cast_slots =
+      static_cast<std::uint64_t>(q * q);  // dcl-semlint-expect: sem-mul-width
+
+  // Negative control: widening an operand makes the product 64-bit.
+  std::uint64_t wide = static_cast<std::uint64_t>(q) * q;
+
+  // Negative control: literal operands are author-bounded (wi * 64 etc.).
+  std::uint64_t word = q * 64;
+
+  // Justified via the shared allow() grammar: silent.
+  // dcl-lint: allow(sem-mul-width): fixture demo - q is capped at 1000 here
+  std::uint64_t vetted = q * q;
+
+  return slots + cast_slots + wide + word + vetted;
+}
+
+}  // namespace fix

@@ -1,0 +1,62 @@
+// sem-narrow / sem-index-32 fixture: 64-bit values flowing into 32-bit
+// homes through every conversion site the analyzer instruments (init,
+// assignment, call argument, return), plus the loop-wrap shape, plus the
+// exemptions that keep the rule usable (literal-bounded expressions,
+// explicit casts, the allow() grammar).
+#include <cstdint>
+#include <vector>
+
+namespace fix {
+
+using EdgeId = std::int64_t;
+
+void sink(int narrow_arg);
+
+int edge_scale(const std::vector<int>& edges, EdgeId total) {
+  // Initializer: a 64-bit expression lands in a 32-bit variable.
+  int m = total;  // dcl-semlint-expect: sem-narrow
+
+  // Assignment, same hazard.
+  unsigned int u = 0;
+  u = edges.size();  // dcl-semlint-expect: sem-narrow
+
+  // Call argument against a 32-bit parameter.
+  sink(total);  // dcl-semlint-expect: sem-narrow
+
+  // Literal-bounded expressions are the author's range proof: silent.
+  int lane = total % 64;
+  int lo_byte = static_cast<int>(edges.size() & 0xff);
+
+  // Explicit cast: an authored claim, routed to to_node in real code.
+  int claimed = static_cast<int>(total);
+
+  // Justified narrowing via the shared allow() grammar: silent.
+  // dcl-lint: allow(sem-narrow): fixture demo - bounded by caller contract
+  int vetted = total;
+
+  return m + u + lane + lo_byte + claimed + vetted;
+}
+
+// Return-site narrowing: 64-bit size, 32-bit return type.
+int count_all(const std::vector<int>& edges) {
+  return edges.size();  // dcl-semlint-expect: sem-narrow
+}
+
+std::int64_t wrap_risk(const std::vector<int>& edges, EdgeId m) {
+  std::int64_t acc = 0;
+  // 32-bit induction variable against a 64-bit bound: wraps at 2^31.
+  for (int i = 0; i < m; ++i) {  // dcl-semlint-expect: sem-index-32
+    acc += i;
+  }
+  // Negative control: 64-bit induction covers the range.
+  for (EdgeId i = 0; i < m; ++i) {
+    acc += i;
+  }
+  // Negative control: 32-bit induction against a literal bound is fine.
+  for (int i = 0; i < 1024; ++i) {
+    acc += edges.empty() ? 0 : edges[0];
+  }
+  return acc;
+}
+
+}  // namespace fix

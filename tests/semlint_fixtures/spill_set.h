@@ -1,0 +1,24 @@
+// Cross-TU fixture header: the shape tools/dcl_lint.py documents as its
+// blind spot. `SpillTracker` declares two member containers here; the
+// iteration happens in a *different* file (fixture_cross_tu.cpp), where no
+// lexical "unordered" token is visible. Only a type-resolved pass connects
+// the dots: the unordered_set member must be flagged at its iteration site,
+// and the std::set member — same spelling distance, identical use — must
+// stay silent (negative control, mirroring the enumeration module's
+// std::set spill set).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+namespace fix {
+
+struct SpillTracker {
+  std::unordered_set<int> hashed_spill;  // iterating this is a finding
+  std::set<int> ordered_spill;           // iterating this is fine
+  std::vector<int> flat_spill;           // and so is this
+};
+
+}  // namespace fix

@@ -1,0 +1,91 @@
+// Contract tests for the checked id conversions (src/graph/ids.h): exact
+// boundary behavior at the NodeId/EdgeId limits, Debug-assert on range
+// violations, and Release transparency (in NDEBUG builds the helpers are
+// bare static_casts — the same binary-level behavior the bench pins rely
+// on). EXPECT_DEBUG_DEATH covers both configurations with one spelling:
+// it expects the assert in Debug and executes the statement normally under
+// NDEBUG.
+#include "graph/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace dcl {
+namespace {
+
+constexpr std::int64_t kNodeMax = std::numeric_limits<NodeId>::max();
+
+TEST(ToNode, ExactBoundaries) {
+  // 2^31 - 1 is the last representable node id, from every integral width.
+  EXPECT_EQ(to_node(std::int64_t{kNodeMax}), kNodeMax);
+  EXPECT_EQ(to_node(std::uint64_t{0x7fffffffu}), kNodeMax);
+  EXPECT_EQ(to_node(std::size_t{0x7fffffffu}), kNodeMax);
+  EXPECT_EQ(to_node(0), 0);
+  EXPECT_EQ(to_node(std::int16_t{-5}), -5);  // in-range negatives pass through
+}
+
+TEST(ToNode, DebugAssertsAboveRange) {
+  // 2^31 (first unrepresentable) and 2^32 (the classic size_t truncation
+  // that would silently read as 0) both trip the Debug assert.
+  EXPECT_DEBUG_DEATH((void)to_node(std::int64_t{kNodeMax} + 1),
+                     "to_node: value exceeds NodeId range");
+  EXPECT_DEBUG_DEATH((void)to_node(std::uint64_t{1} << 32),
+                     "to_node: value exceeds NodeId range");
+}
+
+TEST(ToNode, DebugAssertsOnNegativeOutOfRange) {
+  EXPECT_DEBUG_DEATH(
+      (void)to_node(std::numeric_limits<std::int64_t>::min()),
+      "to_node: value exceeds NodeId range");
+}
+
+#ifdef NDEBUG
+TEST(ToNode, ReleaseIsABareStaticCast) {
+  // Release contract: no check, no cost — bit-identical to static_cast.
+  // (Covered implicitly by EXPECT_DEBUG_DEATH above, asserted explicitly
+  // here so an accidental always-on check fails loudly.)
+  const auto big = (std::uint64_t{1} << 32) | 7u;
+  EXPECT_EQ(to_node(big), static_cast<NodeId>(big));
+}
+#endif
+
+TEST(ToEdge, BoundariesAndWidths) {
+  constexpr auto kEdgeMax = std::numeric_limits<EdgeId>::max();
+  EXPECT_EQ(to_edge(std::uint64_t{0x7fffffffffffffffu}), kEdgeMax);
+  EXPECT_EQ(to_edge(std::size_t{1} << 32), EdgeId{1} << 32);
+  EXPECT_EQ(to_edge(-1), EdgeId{-1});
+  EXPECT_DEBUG_DEATH(
+      (void)to_edge(std::numeric_limits<std::uint64_t>::max()),
+      "to_edge: value exceeds EdgeId range");
+}
+
+TEST(CheckedMul64, WidensBeforeMultiplying) {
+  // The PR 6 class: a 32-bit degree squared. 70'000² overflows int32; the
+  // helper computes it in 64 bits.
+  const NodeId d = 70'000;
+  EXPECT_EQ(checked_mul64(d, d), std::uint64_t{4'900'000'000u});
+  EXPECT_EQ(checked_mul64(0, 12345), 0u);
+  EXPECT_EQ(checked_mul64(std::uint32_t{1} << 31, std::uint32_t{1} << 31),
+            std::uint64_t{1} << 62);
+}
+
+TEST(CheckedMul64, DebugAssertsOnOverflowAndSign) {
+  EXPECT_DEBUG_DEATH(
+      (void)checked_mul64(std::uint64_t{1} << 32, std::uint64_t{1} << 32),
+      "checked_mul64: product overflows uint64");
+  EXPECT_DEBUG_DEATH((void)checked_mul64(-1, 2),
+                     "checked_mul64: negative operand");
+  EXPECT_DEBUG_DEATH((void)checked_mul64(2, std::int64_t{-7}),
+                     "checked_mul64: negative operand");
+}
+
+TEST(CheckedMul64, MixedWidthsAndSignedness) {
+  EXPECT_EQ(checked_mul64(std::int16_t{300}, std::uint64_t{1} << 32),
+            std::uint64_t{300} << 32);
+  EXPECT_EQ(checked_mul64(EdgeId{1} << 40, 8), std::uint64_t{1} << 43);
+}
+
+}  // namespace
+}  // namespace dcl

@@ -70,6 +70,18 @@ RULES = {
 }
 WARNING_RULES = {"reserve-hint"}
 
+# Rules owned by the semantic sibling tool (tools/dcl_semlint.py). The two
+# linters share the one allow() grammar, so an allow naming a semlint rule
+# is well-formed here — it simply suppresses nothing in THIS tool. Kept as
+# an explicit registry so a typo'd rule name still trips bad-allow.
+FOREIGN_RULES = {
+    "sem-unordered-iter",
+    "sem-narrow",
+    "sem-index-32",
+    "sem-mul-width",
+    "sem-hot-alloc",
+}
+
 # Paths (relative to the repo root, forward slashes) where raw threading
 # primitives are the implementation of the audited pool itself.
 RAW_THREAD_ALLOWED = {
@@ -168,7 +180,8 @@ class SourceFile:
             if m:
                 rules = [r.strip() for r in m.group(1).split(",")]
                 justification = (m.group(2) or "").strip()
-                bad = [r for r in rules if r not in RULES]
+                bad = [r for r in rules
+                       if r not in RULES and r not in FOREIGN_RULES]
                 if bad or not justification:
                     why = (f"unknown rule(s) {', '.join(bad)}" if bad else
                            "missing justification text")

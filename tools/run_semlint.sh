@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Semantic-lint driver: runs tools/dcl_semlint.py against the repo's
+# compile_commands.json, regenerating it when the CMake cache is missing or
+# older than CMakeLists.txt (a stale database silently drops new TUs, which
+# reads as "clean" when it is not).
+#
+# Usage:
+#   tools/run_semlint.sh                 # fixtures self-test + src scan
+#   tools/run_semlint.sh --src-only      # skip the fixture self-test
+#   tools/run_semlint.sh --fixtures-only # skip the src scan
+#   BUILD_DIR=build-asan tools/run_semlint.sh   # alternate build dir
+#
+# Exit codes mirror the analyzer: 0 clean, 1 findings/self-test mismatch,
+# 2 usage or parse error, 77 libclang unavailable (ctest maps 77 to SKIP;
+# CI installs python3-clang so the job is blocking there).
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-build}"
+
+case "${BUILD_DIR}" in
+  /*) ;;
+  *) BUILD_DIR="${REPO_ROOT}/${BUILD_DIR}" ;;
+esac
+
+RUN_FIXTURES=1
+RUN_SRC=1
+for arg in "$@"; do
+  case "${arg}" in
+    --src-only) RUN_FIXTURES=0 ;;
+    --fixtures-only) RUN_SRC=0 ;;
+    *) echo "run_semlint.sh: unknown argument '${arg}'" >&2; exit 2 ;;
+  esac
+done
+
+SEMLINT="${REPO_ROOT}/tools/dcl_semlint.py"
+
+if [[ "${RUN_FIXTURES}" -eq 1 ]]; then
+  python3 "${SEMLINT}" --expect "${REPO_ROOT}/tests/semlint_fixtures"
+fi
+
+if [[ "${RUN_SRC}" -eq 1 ]]; then
+  # The src scan needs the exported compilation database; (re)configure when
+  # it is absent or predates CMakeLists.txt. Configure only — no build.
+  DB="${BUILD_DIR}/compile_commands.json"
+  if [[ ! -f "${DB}" || "${REPO_ROOT}/CMakeLists.txt" -nt "${DB}" ]]; then
+    echo "run_semlint.sh: refreshing ${DB}"
+    cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" >/dev/null
+  fi
+  python3 "${SEMLINT}" --root "${REPO_ROOT}" --build-dir "${BUILD_DIR}"
+fi
